@@ -1,0 +1,108 @@
+"""Ablation studies on LPR's design choices.
+
+Each ablation switches off (or swaps) one mechanism the paper argues
+for, and measures its effect on the final cycle of the standard study:
+
+* **re-injection** — without the §3.1/§4.5 dynamic-AS re-injection, the
+  persistence filter silently erases the TE-heavy dynamic networks;
+* **PHP alias heuristic** (§5) — resolves the Unclassified IOTPs
+  without disturbing the other classes;
+* **router-level IOTPs** (§5) — alias-resolved grouping merges IOTPs
+  (never splits them) and can only widen the merged pairs.
+"""
+
+from conftest import run_once
+
+from repro.core import LprPipeline, TunnelClass
+from repro.core.alias import infer_aliases, router_level_iotps
+from repro.core.classification import classify
+from repro.sim.scenarios import VODAFONE
+
+
+def test_ablation_reinjection(benchmark, study):
+    """Without re-injection, the dynamic AS1273 disappears entirely."""
+    simulator = study.simulator
+
+    def rerun_without_reinjection():
+        cycle_data = simulator.run_cycle(45)
+        strict = LprPipeline(simulator.internet.ip2as,
+                             reinject_threshold=0.0)
+        normal = LprPipeline(simulator.internet.ip2as)
+        return (strict.process_cycle(cycle_data),
+                normal.process_cycle(cycle_data))
+
+    strict_result, normal_result = run_once(benchmark,
+                                            rerun_without_reinjection)
+    with_reinjection = len(normal_result.for_as(VODAFONE))
+    without = len(strict_result.for_as(VODAFONE))
+    print(f"\nVodafone IOTPs: {with_reinjection} with re-injection, "
+          f"{without} without")
+    assert with_reinjection > 0
+    assert without == 0
+    # The rest of the classification is untouched by the mechanism.
+    strict_other = {k: v for k, v in
+                    strict_result.classification.verdicts.items()
+                    if k[0] != VODAFONE}
+    normal_other = {k: v for k, v in
+                    normal_result.classification.verdicts.items()
+                    if k[0] != VODAFONE}
+    assert set(strict_other) == set(normal_other)
+
+
+def test_ablation_php_heuristic(benchmark, study):
+    """The §5 heuristic removes Unclassified and touches nothing else."""
+    last = study.last_cycle
+
+    def classify_both():
+        return (classify(last.iotps, php_heuristic=False),
+                classify(last.iotps, php_heuristic=True))
+
+    plain, resolved = run_once(benchmark, classify_both)
+    plain_counts = plain.counts()
+    resolved_counts = resolved.counts()
+    print(f"\nUnclassified: {plain_counts[TunnelClass.UNCLASSIFIED]} "
+          f"-> {resolved_counts[TunnelClass.UNCLASSIFIED]}")
+
+    assert resolved_counts[TunnelClass.UNCLASSIFIED] == 0
+    # Every previously classified IOTP keeps its class.
+    for key, verdict in plain.verdicts.items():
+        if verdict.tunnel_class is not TunnelClass.UNCLASSIFIED:
+            assert resolved.verdicts[key].tunnel_class \
+                is verdict.tunnel_class
+    # The freed IOTPs land in the two label-comparison classes.
+    moved = plain_counts[TunnelClass.UNCLASSIFIED]
+    gained = (
+        resolved_counts[TunnelClass.MONO_FEC]
+        - plain_counts[TunnelClass.MONO_FEC]
+        + resolved_counts[TunnelClass.MULTI_FEC]
+        - plain_counts[TunnelClass.MULTI_FEC]
+    )
+    assert gained == moved
+
+
+def test_ablation_router_level_iotps(benchmark, study):
+    """Alias-resolved grouping merges, never splits (§5)."""
+    last = study.last_cycle
+
+    def regroup():
+        lsps = [lsp for iotp in last.iotps.values()
+                for lsp in iotp.lsps.values()]
+        resolver = infer_aliases(lsps)
+        merged = router_level_iotps(last.iotps, resolver)
+        return resolver, merged
+
+    resolver, merged = run_once(benchmark, regroup)
+    print(f"\nIOTPs: {len(last.iotps)} IP-level -> "
+          f"{len(merged)} router-level "
+          f"({len(resolver.alias_sets())} alias sets)")
+
+    assert len(merged) <= len(last.iotps)
+    # Branch conservation.
+    assert sum(iotp.width for iotp in merged.values()) \
+        == sum(iotp.width for iotp in last.iotps.values())
+    # Classification still runs cleanly on the merged view and cannot
+    # contain MORE Mono-LSP IOTPs than the IP-level one.
+    ip_level = classify(last.iotps)
+    router_level = classify(merged)
+    assert router_level.counts()[TunnelClass.MONO_LSP] \
+        <= ip_level.counts()[TunnelClass.MONO_LSP]

@@ -1,0 +1,39 @@
+"""Fig 10 — AS1273 (Vodafone): a growing, RSVP-TE-dominated deployment.
+
+Paper claims: MPLS usage inside Vodafone grows over the period, the
+Multi-FEC class dominates and grows at the expense of Mono-LSP, ECMP
+Mono-FEC is almost invisible, and the AS is the canonical *dynamic*
+network — its labels churn so fast that the Persistence filter deletes
+the whole set and LPR re-injects it (§4.5).
+"""
+
+from repro.analysis import per_as_figure
+from repro.sim.scenarios import VODAFONE
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig10_vodafone(benchmark, study):
+    result = benchmark(per_as_figure, study.longitudinal, VODAFONE,
+                       "Vodafone", "fig10")
+    print("\n" + result.text)
+    shares = result.data["shares"]
+    counts = result.data["counts"]
+
+    # Usage grows: late IOTP counts beat early ones.
+    assert _mean(counts[-15:]) > _mean(counts[:15])
+
+    # Multi-FEC dominates the back half of the study.
+    late = slice(30, 60)
+    assert _mean(shares["multi-fec"][late]) > 0.5
+    assert _mean(shares["multi-fec"][late]) \
+        > _mean(shares["mono-lsp"][late])
+
+    # ECMP Mono-FEC is almost invisible.
+    assert _mean(shares["mono-fec"]) < 0.10
+
+    # Dynamic in (almost) every cycle where it had tunnels.
+    active_cycles = sum(1 for count in counts if count > 0)
+    assert result.data["dynamic_cycles"] >= 0.8 * active_cycles

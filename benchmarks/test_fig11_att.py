@@ -1,0 +1,32 @@
+"""Fig 11 — AS7018 (AT&T): Multi-FEC progressively replaces Mono-FEC.
+
+Paper claims: MPLS usage relatively decreases over time while the
+Multi-FEC class is more and more used in place of Mono-FEC tunnels,
+with a drop in IOTP count around cycle 22 marking the transition.
+"""
+
+from repro.analysis import per_as_figure
+from repro.sim.scenarios import ATT, ATT_TRANSITION_CYCLE
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig11_att(benchmark, study):
+    result = benchmark(per_as_figure, study.longitudinal, ATT,
+                       "AT&T", "fig11")
+    print("\n" + result.text)
+    shares = result.data["shares"]
+
+    before = slice(0, ATT_TRANSITION_CYCLE - 1)
+    after = slice(ATT_TRANSITION_CYCLE + 5, 60)
+
+    # Multi-FEC rises across the transition...
+    assert _mean(shares["multi-fec"][after]) \
+        > _mean(shares["multi-fec"][before]) + 0.10
+    # ...at the expense of Mono-FEC.
+    assert _mean(shares["mono-fec"][after]) \
+        < _mean(shares["mono-fec"][before])
+    # Early on, TE is marginal.
+    assert _mean(shares["multi-fec"][before]) < 0.30

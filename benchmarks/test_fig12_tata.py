@@ -1,0 +1,28 @@
+"""Fig 12 — AS6453 (Tata): ECMP Mono-FEC dominates; almost no TE.
+
+Paper claims: Tata shows almost no Multi-FEC and a strong (although
+declining) usage of Mono-FEC — a topology whose logical properties
+enable wide use of ECMP on top of LDP.
+"""
+
+from repro.analysis import per_as_figure
+from repro.sim.scenarios import TATA
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig12_tata(benchmark, study):
+    result = benchmark(per_as_figure, study.longitudinal, TATA,
+                       "Tata", "fig12")
+    print("\n" + result.text)
+    shares = result.data["shares"]
+
+    # Mono-FEC is the dominant class on average.
+    assert _mean(shares["mono-fec"]) > _mean(shares["mono-lsp"])
+    assert _mean(shares["mono-fec"]) > _mean(shares["multi-fec"])
+    assert _mean(shares["mono-fec"]) > 0.45
+
+    # Multi-FEC stays marginal.
+    assert _mean(shares["multi-fec"]) < 0.15

@@ -1,0 +1,32 @@
+"""Fig 14 — AS2914 (NTT): stable Mono-LSP usage on a growing footprint.
+
+Paper claims: NTT's IOTP count roughly triples over the period while
+its usage stays mostly Mono-LSP, with a slight relative shift towards
+Mono-FEC over time.
+"""
+
+from repro.analysis import per_as_figure
+from repro.sim.scenarios import NTT
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig14_ntt(benchmark, study):
+    result = benchmark(per_as_figure, study.longitudinal, NTT,
+                       "NTT", "fig14")
+    print("\n" + result.text)
+    shares = result.data["shares"]
+    counts = result.data["counts"]
+
+    # Deployment growth: the paper reports the IOTP count tripling; we
+    # require at least a doubling between the first and last year.
+    assert _mean(counts[-12:]) >= 2.0 * _mean(counts[:12])
+
+    # Mono-LSP is the dominant class.
+    assert _mean(shares["mono-lsp"]) > 0.45
+    assert _mean(shares["mono-lsp"]) > _mean(shares["mono-fec"])
+
+    # TE is negligible.
+    assert _mean(shares["multi-fec"]) < 0.15

@@ -1,0 +1,32 @@
+"""Fig 15 — AS3356 (Level3): rise at cycle 29, plateau, fall at 55.
+
+Paper claims: MPLS appears in Level3 during the 29th cycle (without any
+infrastructure change — pure configuration), stays deployed for about
+two years, then usage decreases sharply from cycle 55 on.
+"""
+
+from repro.analysis import per_as_figure
+from repro.sim.scenarios import LEVEL3, LEVEL3_FALL_CYCLE, \
+    LEVEL3_RISE_CYCLE
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig15_level3(benchmark, study):
+    result = benchmark(per_as_figure, study.longitudinal, LEVEL3,
+                       "Level3", "fig15")
+    print("\n" + result.text)
+    counts = result.data["counts"]
+
+    before = counts[:LEVEL3_RISE_CYCLE - 1]
+    plateau = counts[LEVEL3_RISE_CYCLE - 1:LEVEL3_FALL_CYCLE - 1]
+    after = counts[LEVEL3_FALL_CYCLE - 1:]
+
+    # Nothing before the rise.
+    assert sum(before) == 0
+    # A real deployment during the plateau.
+    assert _mean(plateau) >= 5
+    # A sharp decrease afterwards.
+    assert _mean(after) < 0.5 * _mean(plateau)

@@ -1,0 +1,36 @@
+"""Fig 16 — Level3's April-2012 ramp-up, day by day.
+
+Paper claims: probing the month before cycle 29 daily shows an
+*incremental* MPLS deployment starting mid-month (around April 15th)
+rather than an abrupt transition, with day-to-day wobble caused by the
+varying number of vantage points.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import regenerate_fig16
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig16_level3_daily_ramp(benchmark, study):
+    result = run_once(benchmark, regenerate_fig16, study, days=30)
+    print("\n" + result.text)
+    iotps = result.data["iotps_before"]
+    lsps = result.data["lsps_before"]
+
+    first_half = iotps[:14]
+    second_half = iotps[14:]
+
+    # Nothing before the ramp starts...
+    assert sum(first_half) == 0
+    # ...then an incremental climb, not a step: the last third of the
+    # month clearly beats the first ramp days.
+    assert _mean(second_half[-5:]) > _mean(second_half[:5])
+    assert max(second_half) > 0
+
+    # LSP counts follow the same ramp.
+    assert sum(lsps[:14]) == 0
+    assert max(lsps[14:]) > 0

@@ -1,0 +1,45 @@
+"""Fig 17 — the label sawtooth under RSVP-TE re-optimization.
+
+Paper claims: probing one Vodafone LSP every two minutes shows each
+LSR's label climbing almost periodically (head-end re-optimization plus
+heavy background signalling), wrapping to the bottom of the range when
+it tops out; labels live in the 300k–800k (Juniper) range; the busier
+LSR's curve climbs faster; and some step durations differ (event-driven
+re-optimizations on top of the timer).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import regenerate_fig17
+from repro.core.dynamics import step_durations
+from repro.mpls.vendor import JUNIPER
+
+
+def test_fig17_label_sawtooth(benchmark, study):
+    result = run_once(benchmark, regenerate_fig17, study, probes=300)
+    print("\n" + result.text)
+    series = result.data["series"]
+    summaries = result.data["summaries"]
+    ranked = result.data["ranked"]
+
+    assert len(summaries) >= 2, "need at least two LSRs on the LSP"
+
+    for address, summary in summaries.items():
+        # Labels live in the Juniper dynamic range (paper: 300k-800k).
+        assert summary.min_label >= JUNIPER.label_min
+        assert summary.max_label <= JUNIPER.label_max
+        # The label changes repeatedly over the campaign.
+        assert summary.change_points >= 3
+        # And climbs between changes (sawtooth, not noise).
+        assert summary.mean_step > 0
+
+    # The busiest LSR consumed more label space than the quietest.
+    busiest = summaries[ranked[0]]
+    quietest = summaries[ranked[-1]]
+    travelled_busy = busiest.change_points * busiest.mean_step
+    travelled_quiet = quietest.change_points * quietest.mean_step
+    assert travelled_busy >= travelled_quiet
+
+    # Step durations are not all identical (event-driven re-opts).
+    durations = step_durations(series[ranked[0]])
+    assert len(set(durations)) > 1

@@ -1,0 +1,48 @@
+"""Fig 5 — global MPLS deployment over the five years.
+
+Paper claims reproduced here:
+* (5a) the share of traces crossing at least one explicit tunnel grows
+  over the study, with a visible step when Level3 turns MPLS on around
+  cycle 29 and a decline after its fall at cycle 55;
+* (5b) the number of addresses used in MPLS grows substantially faster
+  than the number of non-MPLS addresses (paper: 60% vs 21%), with dips
+  at the cycle-23 and cycle-58 measurement issues.
+"""
+
+from repro.analysis import fig5a, fig5b
+from repro.sim.scenarios import MEASUREMENT_DIP_CYCLES
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig5a_tunnel_share(benchmark, study):
+    result = benchmark(fig5a, study.longitudinal)
+    print("\n" + result.text)
+    shares = [share for _, share in result.data["shares"]]
+
+    # Long-term growth.
+    assert _mean(shares[-12:]) > _mean(shares[:12])
+    # The Level3 step: the plateau after the rise beats the run-up.
+    assert _mean(shares[29:40]) > _mean(shares[17:28])
+    # The fall at the end: last cycles dip below the plateau.
+    assert _mean(shares[55:]) < _mean(shares[40:54])
+
+
+def test_fig5b_address_counts(benchmark, study):
+    result = benchmark(fig5b, study.longitudinal)
+    print("\n" + result.text)
+    counts = result.data["counts"]
+    growth = result.data["growth"]
+
+    # MPLS address growth outpaces non-MPLS growth (paper: 60% vs 21%).
+    assert growth["mpls"] > growth["non_mpls"] > 0
+
+    # Measurement-issue dips: each dip cycle is below both neighbours
+    # in total observed addresses.
+    totals = {cycle: mpls + other for cycle, mpls, other in counts}
+    for dip in MEASUREMENT_DIP_CYCLES:
+        assert totals[dip] < totals[dip - 1]
+        if dip + 1 in totals:
+            assert totals[dip] < totals[dip + 1]

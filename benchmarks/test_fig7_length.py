@@ -1,0 +1,23 @@
+"""Fig 7 — IOTP length distribution (cycle 60).
+
+Paper claim: tunnels are short — more than 65% of IOTPs have at most
+three LSRs — with a thin tail of long ones, a consequence of the short
+diameter of most ASes.
+"""
+
+from repro.analysis import fig7
+from repro.core.metrics import share_at_most
+
+
+def test_fig7_length_distribution(benchmark, last_cycle):
+    result = benchmark(fig7, last_cycle)
+    print("\n" + result.text)
+    pdf = result.data["pdf"]
+
+    assert pdf, "no classified IOTPs at the last cycle"
+    # Most tunnels are short (paper: > 65% with <= 3 LSRs).
+    assert share_at_most(pdf, 3) > 0.65
+    # But not degenerate: several lengths are populated.
+    assert len(pdf) >= 2
+    # PDF sanity.
+    assert abs(sum(pdf.values()) - 1.0) < 1e-9

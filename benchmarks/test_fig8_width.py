@@ -1,0 +1,34 @@
+"""Fig 8 — IOTP width distribution (cycle 60).
+
+Paper claims: most IOTPs are narrow (56% have width 1, i.e. are
+Mono-LSP), a small minority is very wide, and — surprisingly — the
+Mono-FEC and Multi-FEC width distributions look alike: TE does not buy
+much more path diversity than plain ECMP.
+"""
+
+from repro.analysis import fig8
+
+
+def test_fig8_width_distribution(benchmark, last_cycle):
+    result = benchmark(fig8, last_cycle)
+    print("\n" + result.text)
+    overall = result.data["overall"]
+    per_class = result.data["per_class"]
+
+    # Width 1 dominates (paper: 56%).
+    assert overall[1] == max(overall.values())
+    assert 0.30 <= overall[1] <= 0.80
+
+    # Only Mono-LSP IOTPs have width 1, by definition.
+    for pdf in per_class.values():
+        assert 1 not in pdf
+
+    # Mono-FEC and Multi-FEC widths are similar: their means differ by
+    # at most 1.5 branches (the paper's "nearly the same distribution").
+    def mean_width(pdf):
+        return sum(width * share for width, share in pdf.items())
+
+    mono = per_class["mono-fec"]
+    multi = per_class["multi-fec"]
+    if mono and multi:
+        assert abs(mean_width(mono) - mean_width(multi)) <= 1.5

@@ -1,0 +1,27 @@
+"""Fig 9 — IOTP symmetry distribution per class (cycle 60).
+
+Paper claims: balanced IOTPs (all branches the same LSR count) dominate
+both multi-LSP classes at roughly the 80% level, and the two classes do
+not differ much — TE constraints are usually satisfied by one IP path.
+"""
+
+from repro.analysis import fig9
+from repro.core import TunnelClass, balanced_share
+
+
+def test_fig9_symmetry_distribution(benchmark, last_cycle):
+    result = benchmark(fig9, last_cycle)
+    print("\n" + result.text)
+    per_class = result.data["per_class"]
+
+    for name, pdf in per_class.items():
+        if not pdf:
+            continue
+        # Balanced dominates (paper: ~80%).
+        assert pdf.get(0, 0.0) >= 0.6, name
+        assert abs(sum(pdf.values()) - 1.0) < 1e-9
+
+    # Direct check on the aggregate result object too.
+    mono = balanced_share(last_cycle.classification,
+                          TunnelClass.MONO_FEC)
+    assert mono >= 0.6

@@ -1,0 +1,53 @@
+"""Throughput benchmarks for the LPR pipeline itself.
+
+Not a paper figure: these measure the cost of the reusable pieces —
+extraction, the filter chain and Algorithm-1 classification — on one
+cycle of the standard dataset, so performance regressions in the
+algorithmic core are caught.
+"""
+
+import pytest
+
+from repro.core.classification import classify
+from repro.core.extraction import extract_all
+from repro.core.filters import run_filters
+from repro.core.pipeline import LprPipeline
+
+
+@pytest.fixture(scope="module")
+def cycle_data(study):
+    """A fresh mid-study cycle dataset (traces only)."""
+    return study.simulator.run_cycle(40)
+
+
+def test_bench_extraction(benchmark, study, cycle_data):
+    lsps = benchmark(extract_all, cycle_data.traces)
+    assert lsps
+
+
+def test_bench_filters(benchmark, study, cycle_data):
+    pipeline = LprPipeline(study.simulator.internet.ip2as)
+    lsps = extract_all(cycle_data.traces)
+    follow = pipeline.follow_up_signatures(cycle_data.snapshots)
+
+    def run():
+        return run_filters(lsps, study.simulator.internet.ip2as, follow)
+
+    iotps, stats = benchmark(run)
+    assert stats.after_persistence > 0
+
+
+def test_bench_classification(benchmark, study, cycle_data):
+    pipeline = LprPipeline(study.simulator.internet.ip2as)
+    lsps = extract_all(cycle_data.traces)
+    iotps, _ = run_filters(
+        lsps, study.simulator.internet.ip2as,
+        pipeline.follow_up_signatures(cycle_data.snapshots))
+    result = benchmark(classify, iotps)
+    assert len(result) == len(iotps)
+
+
+def test_bench_full_pipeline(benchmark, study, cycle_data):
+    pipeline = LprPipeline(study.simulator.internet.ip2as)
+    result = benchmark(pipeline.process_cycle, cycle_data)
+    assert len(result.classification) > 0

@@ -1,0 +1,37 @@
+"""Table 1 — cumulative filter survivor shares.
+
+The paper reports, averaged over the 60 cycles: 0.853 after dropping
+incomplete LSPs, 0.844 after IntraAS, 0.717 after TargetAS, 0.644 after
+TransitDiversity, 0.534 after Persistence.  The reproduction checks the
+structure of that column: monotone decrease, the incomplete filter doing
+heavy lifting, IntraAS removing almost nothing, and the final survivor
+share landing in the same region.
+"""
+
+from repro.analysis import table1
+
+
+def test_table1_filter_survival(benchmark, study):
+    result = benchmark(table1, study.longitudinal)
+    print("\n" + result.text)
+    survival = result.data["survival"]
+
+    means = {stage: stats.mean for stage, stats in survival.items()}
+    # Survivor shares must decrease along the pipeline.
+    order = ["incomplete", "intra_as", "target_as",
+             "transit_diversity", "persistence"]
+    for earlier, later in zip(order, order[1:]):
+        assert means[earlier] >= means[later]
+
+    # Incomplete LSPs are a major removal (paper: 14.7%).
+    assert 0.05 <= 1 - means["incomplete"] <= 0.30
+    # IntraAS removes almost nothing (paper: 0.9%).
+    assert means["incomplete"] - means["intra_as"] <= 0.06
+    # TargetAS removes a visible share (paper: 12.7%).
+    assert means["intra_as"] - means["target_as"] >= 0.02
+    # Overall survivor share lands near the paper's 0.534.
+    assert 0.40 <= means["persistence"] <= 0.75
+
+    # Confidence intervals are tight relative to the means.
+    for stats in survival.values():
+        assert stats.half_width < 0.1

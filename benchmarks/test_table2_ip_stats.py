@@ -1,0 +1,52 @@
+"""Table 2 — yearly MPLS / non-MPLS address statistics per focus AS.
+
+Paper claims encoded structurally: every focus AS shows far more
+non-MPLS than MPLS addresses; Level3's MPLS footprint is zero in the
+first two years, substantial in years three and four, and reduced in
+year five; the always-on ASes keep a nonzero MPLS footprint in every
+year.
+"""
+
+from repro.analysis import FOCUS_ASES, table2
+from repro.sim.scenarios import ATT, LEVEL3, NTT, TATA, VODAFONE
+
+
+def test_table2_yearly_ip_stats(benchmark, study):
+    result = benchmark(table2, study.longitudinal, FOCUS_ASES)
+    print("\n" + result.text)
+    yearly = result.data["yearly"]
+
+    for asn, rows in yearly.items():
+        assert len(rows) == 5  # five years of data
+        for row in rows:
+            assert row["mpls_min"] <= row["mpls_avg"] <= row["mpls_max"]
+            assert row["non_mpls_min"] <= row["non_mpls_avg"] \
+                <= row["non_mpls_max"]
+
+    # Globally the plain-IP footprint dwarfs the MPLS-tagged one (every
+    # simulated AS is transit-core-only, so the per-AS ratio can flip in
+    # the densest deployments — the real networks' large unlabeled
+    # access plants are outside our universe).
+    last = study.longitudinal.results[-1].stats
+    assert last.non_mpls_addresses > last.mpls_addresses
+
+    # NTT's MPLS footprint grows steadily (paper: avg 216 -> 316).
+    ntt = yearly[NTT]
+    assert ntt[-1]["mpls_avg"] > ntt[0]["mpls_avg"]
+
+    # Vodafone's MPLS footprint grows over the years (paper: avg 115 in
+    # 2010 vs 171 in 2014).
+    vodafone = yearly[VODAFONE]
+    assert vodafone[-1]["mpls_avg"] > vodafone[0]["mpls_avg"]
+
+    level3 = yearly[LEVEL3]
+    assert level3[0]["mpls_avg"] == 0          # 2010: nothing
+    assert level3[1]["mpls_max"] <= level3[2]["mpls_max"]
+    assert level3[2]["mpls_avg"] > 0           # 2012: deployed
+    assert level3[3]["mpls_avg"] > 0
+    assert level3[4]["mpls_avg"] < level3[3]["mpls_avg"]  # the fall
+
+    # Always-on deployments never drop to zero.
+    for asn in (TATA, NTT):
+        for row in yearly[asn]:
+            assert row["mpls_avg"] > 0

@@ -1,0 +1,40 @@
+"""§5 validation campaign — LPR's verdicts vs flow-varying MDA probing.
+
+The paper proposes (as ongoing work) to corroborate LPR with Paris
+traceroute: Mono-FEC ECMP tunnels should be visible as IP-level
+multipath under flow variation, Multi-FEC TE tunnels should not.  This
+benchmark runs that exact campaign on the standard study's final cycle
+and asserts both directions of the ground proof.
+"""
+
+from conftest import run_once
+
+from repro.core import TunnelClass
+from repro.core.validation import validate_classification
+from repro.sim.dataplane import DataPlane
+
+
+def test_validation_study(benchmark, study):
+    simulator = study.simulator
+    monitors = {monitor.name: monitor for monitor in simulator.monitors}
+    last = study.last_cycle
+
+    def campaign():
+        return validate_classification(
+            DataPlane(simulator.internet), monitors,
+            last.iotps, last.classification,
+        )
+
+    report = run_once(benchmark, campaign)
+    counts = report.counts()
+    for tunnel_class in (TunnelClass.MONO_FEC, TunnelClass.MULTI_FEC):
+        agreeing, total = counts[tunnel_class]
+        print(f"{tunnel_class.value}: {agreeing}/{total} agree with MDA")
+
+    # Both multi-LSP classes are represented in the final cycle.
+    assert counts[TunnelClass.MONO_FEC][1] > 0
+    assert counts[TunnelClass.MULTI_FEC][1] > 0
+
+    # The §5 ground proof: ECMP visible to MDA, TE invisible.
+    assert report.agreement_rate(TunnelClass.MONO_FEC) >= 0.7
+    assert report.agreement_rate(TunnelClass.MULTI_FEC) >= 0.7

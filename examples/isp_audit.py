@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Audit a custom ISP's MPLS design with LPR.
+
+The library is not only a paper reproduction: it can answer "what would
+an outside observer infer about MY network?".  This example builds one
+configurable transit ISP, deploys three alternative MPLS designs on it
+— plain LDP, LDP over parallel-link bundles, and an RSVP-TE mesh — and
+shows how each design looks through traceroute + LPR:
+
+    python examples/isp_audit.py
+"""
+
+from repro.analysis import format_table
+from repro.bgp.asgraph import Tier
+from repro.core import LprPipeline
+from repro.sim import ArkSimulator, AsSpec, MplsPolicy, Scenario, \
+    UniverseSpec
+
+ISP = 64900
+
+
+def audit_universe(parallel_links: float, ecmp: int) -> UniverseSpec:
+    """One transit ISP between a probing network and customer stubs."""
+    ases = [
+        AsSpec(ISP, "AuditMe", Tier.TIER1, router_count=24,
+               border_count=6, vendor="juniper", ecmp_breadth=ecmp,
+               parallel_link_fraction=parallel_links),
+        AsSpec(64901, "Eyeball", Tier.TRANSIT, router_count=4,
+               border_count=2, prefix_count=1),
+    ]
+    c2p = [(64901, ISP)] * 2
+    for offset in range(6):
+        asn = 64910 + offset
+        ases.append(AsSpec(asn, f"Customer{offset}", Tier.STUB,
+                           router_count=3, border_count=1,
+                           prefix_count=4))
+        c2p.append((asn, ISP))
+    return UniverseSpec(ases=ases, c2p_edges=c2p, p2p_edges=[],
+                        monitor_ases=[64901], seed=123)
+
+
+DESIGNS = {
+    "plain LDP": dict(
+        universe=dict(parallel_links=0.0, ecmp=2),
+        policy=MplsPolicy(enabled=True, ldp=True),
+    ),
+    "LDP + parallel-link bundles": dict(
+        universe=dict(parallel_links=0.8, ecmp=2),
+        policy=MplsPolicy(enabled=True, ldp=True),
+    ),
+    "RSVP-TE mesh (2 tunnels per pair)": dict(
+        universe=dict(parallel_links=0.0, ecmp=2),
+        policy=MplsPolicy(enabled=True, ldp=True,
+                          te_pair_fraction=1.0, te_tunnels_per_pair=2),
+    ),
+}
+
+
+def audit(design_name: str, spec: dict) -> list:
+    scenario = Scenario(
+        universe=audit_universe(**spec["universe"]),
+        planner=lambda cycle: {ISP: spec["policy"]},
+        cycles=3,
+    )
+    simulator = ArkSimulator(scenario, monitors_per_as=4)
+    pipeline = LprPipeline(simulator.internet.ip2as)
+    result = pipeline.process_cycle(simulator.run_cycle(2))
+    classification = result.for_as(ISP)
+    shares = classification.shares()
+    subclasses = classification.subclass_shares()
+    return [
+        design_name,
+        len(classification),
+        *(f"{shares[tunnel_class]:.2f}" for tunnel_class in shares),
+        *(f"{subclasses[subclass]:.2f}" for subclass in subclasses),
+    ]
+
+
+def main():
+    print("auditing three MPLS designs through LPR's eyes ...\n")
+    rows = [audit(name, spec) for name, spec in DESIGNS.items()]
+    header = ["design", "IOTPs", "mono-lsp", "multi-fec", "mono-fec",
+              "unclass", "disjoint", "parallel"]
+    print(format_table(header, rows))
+    print(
+        "\nreading: the LDP designs show their diversity as Mono-FEC "
+        "(ECMP), split into\nrouter-disjoint vs parallel-link according "
+        "to the physical redundancy; the\nRSVP-TE mesh surfaces as "
+        "Multi-FEC — exactly the distinctions the paper's\n"
+        "classifier was built to make."
+    )
+
+
+if __name__ == "__main__":
+    main()

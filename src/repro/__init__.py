@@ -1,0 +1,19 @@
+"""repro — reproduction of "MPLS Under the Microscope" (IMC 2015).
+
+The package exposes two halves:
+
+* the paper's contribution: the **LPR** (Label Pattern Recognition)
+  pipeline in :mod:`repro.core`, which classifies MPLS transit tunnels
+  observed in traceroute data into Mono-LSP / Multi-FEC / ECMP Mono-FEC /
+  Unclassified;
+* the substrates it runs on: an MPLS + IGP + BGP network simulator with a
+  Paris-traceroute engine (:mod:`repro.sim`), addressing utilities
+  (:mod:`repro.net`), and a warts-like trace archive codec
+  (:mod:`repro.warts`).
+"""
+
+from .traces import StopReason, Trace, TraceHop
+
+__version__ = "1.0.0"
+
+__all__ = ["StopReason", "Trace", "TraceHop", "__version__"]

@@ -1,0 +1,63 @@
+"""Regeneration of the paper's tables and figures."""
+
+from .aggregate import LongitudinalStudy, MeanWithCi, mean_with_ci
+from .render import (
+    bar_chart,
+    format_table,
+    series_chart,
+    sparkline,
+    stacked_shares,
+)
+from .figures import (
+    FigureResult,
+    fig5a,
+    fig5b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig13,
+    fig16,
+    fig17,
+    per_as_figure,
+)
+from .tables import TableResult, table1, table2
+from .experiments import (
+    ALL_ARTIFACTS,
+    FOCUS_ASES,
+    Study,
+    regenerate,
+    regenerate_all,
+    run_longitudinal_study,
+)
+
+__all__ = [
+    "LongitudinalStudy",
+    "MeanWithCi",
+    "mean_with_ci",
+    "bar_chart",
+    "format_table",
+    "series_chart",
+    "sparkline",
+    "stacked_shares",
+    "FigureResult",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig13",
+    "fig16",
+    "fig17",
+    "per_as_figure",
+    "TableResult",
+    "table1",
+    "table2",
+    "ALL_ARTIFACTS",
+    "FOCUS_ASES",
+    "Study",
+    "regenerate",
+    "regenerate_all",
+    "run_longitudinal_study",
+]

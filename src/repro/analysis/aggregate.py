@@ -1,0 +1,182 @@
+"""Longitudinal aggregation of per-cycle LPR results.
+
+Collects the 60 :class:`~repro.core.pipeline.CycleResult` objects of a
+study and exposes the exact series the paper's figures and tables plot:
+per-cycle tunnel-trace shares (Fig 5a), MPLS/non-MPLS address counts
+(Fig 5b and Table 2), cumulative filter survivor averages with confidence
+intervals (Table 1), and per-AS class share series (Figs 10–15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.classification import MonoFecSubclass, TunnelClass
+from ..core.pipeline import CycleResult
+
+_FILTER_STAGES = ("incomplete", "intra_as", "target_as",
+                  "transit_diversity", "persistence")
+
+
+@dataclass(frozen=True)
+class MeanWithCi:
+    """A mean with its normal-approximation 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    samples: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ±{self.half_width:.3f}"
+
+
+def mean_with_ci(values: Sequence[float]) -> MeanWithCi:
+    """Mean and 95% CI half-width of a sample (paper Table 1 format)."""
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanWithCi(mean=mean, half_width=0.0, samples=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = 1.96 * math.sqrt(variance / n)
+    return MeanWithCi(mean=mean, half_width=half_width, samples=n)
+
+
+class LongitudinalStudy:
+    """All cycles of one study, with series extraction helpers."""
+
+    def __init__(self, results: Iterable[CycleResult]):
+        self.results: List[CycleResult] = sorted(
+            results, key=lambda r: r.cycle)
+        if not self.results:
+            raise ValueError("a study needs at least one cycle")
+
+    @property
+    def cycles(self) -> List[int]:
+        """Cycle numbers, ascending."""
+        return [result.cycle for result in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- Fig 5 series --------------------------------------------------------
+
+    def tunnel_trace_shares(self) -> List[Tuple[int, float]]:
+        """Fig 5a: per cycle, share of traces with >= 1 explicit tunnel."""
+        return [(r.cycle, r.stats.tunnel_trace_share)
+                for r in self.results]
+
+    def address_counts(self) -> List[Tuple[int, int, int]]:
+        """Fig 5b: per cycle, (cycle, MPLS IPs, non-MPLS IPs)."""
+        return [(r.cycle, r.stats.mpls_addresses,
+                 r.stats.non_mpls_addresses) for r in self.results]
+
+    # -- Table 1 -------------------------------------------------------------
+
+    def filter_survival(self) -> Dict[str, MeanWithCi]:
+        """Table 1: cumulative average survivor share after each filter."""
+        return {
+            stage: mean_with_ci([
+                result.filter_stats.proportions()[stage]
+                for result in self.results
+            ])
+            for stage in _FILTER_STAGES
+        }
+
+    # -- per-AS series (Figs 10–15) ------------------------------------------
+
+    def class_share_series(self, asn: Optional[int] = None
+                           ) -> Dict[TunnelClass, List[float]]:
+        """Per-cycle class shares, optionally restricted to one AS."""
+        series: Dict[TunnelClass, List[float]] = {
+            tunnel_class: [] for tunnel_class in TunnelClass
+        }
+        for result in self.results:
+            classification = (result.classification if asn is None
+                              else result.for_as(asn))
+            shares = classification.shares()
+            for tunnel_class in TunnelClass:
+                series[tunnel_class].append(shares[tunnel_class])
+        return series
+
+    def iotp_count_series(self, asn: Optional[int] = None) -> List[int]:
+        """Per-cycle classified-IOTP counts (lower halves of Figs 10-15)."""
+        counts = []
+        for result in self.results:
+            classification = (result.classification if asn is None
+                              else result.for_as(asn))
+            counts.append(len(classification))
+        return counts
+
+    def subclass_share_series(self, asn: Optional[int] = None
+                              ) -> Dict[MonoFecSubclass, List[float]]:
+        """Per-cycle Mono-FEC subclass split (Fig 13)."""
+        series: Dict[MonoFecSubclass, List[float]] = {
+            subclass: [] for subclass in MonoFecSubclass
+        }
+        for result in self.results:
+            classification = (result.classification if asn is None
+                              else result.for_as(asn))
+            shares = classification.subclass_shares()
+            for subclass in MonoFecSubclass:
+                series[subclass].append(shares[subclass])
+        return series
+
+    def dynamic_ases(self) -> Dict[int, int]:
+        """AS -> number of cycles it was tagged dynamic (re-injected)."""
+        counts: Dict[int, int] = {}
+        for result in self.results:
+            for asn in result.filter_stats.reinjected_ases:
+                counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    # -- Table 2 -------------------------------------------------------------
+
+    def yearly_address_stats(self, asn: int, cycles_per_year: int = 12
+                             ) -> List[Dict[str, int]]:
+        """Table 2 rows for one AS: per year, min/max/avg of MPLS and
+        non-MPLS address counts."""
+        rows = []
+        for start in range(0, len(self.results), cycles_per_year):
+            chunk = self.results[start:start + cycles_per_year]
+            if not chunk:
+                break
+            mpls = [r.stats.mpls_by_as.get(asn, 0) for r in chunk]
+            other = [r.stats.non_mpls_by_as.get(asn, 0) for r in chunk]
+            rows.append({
+                "year_index": start // cycles_per_year,
+                "mpls_min": min(mpls),
+                "mpls_max": max(mpls),
+                "mpls_avg": round(sum(mpls) / len(mpls)),
+                "non_mpls_min": min(other),
+                "non_mpls_max": max(other),
+                "non_mpls_avg": round(sum(other) / len(other)),
+            })
+        return rows
+
+    def growth(self) -> Dict[str, float]:
+        """Relative growth of MPLS and non-MPLS address counts.
+
+        The paper compares first and last cycles (60% MPLS vs 21%
+        non-MPLS growth over five years); averaging the first and last
+        three cycles makes the figure robust to single-cycle dips.
+        """
+        def window_mean(results, pick) -> float:
+            return sum(pick(r) for r in results) / len(results)
+
+        head = self.results[:3]
+        tail = self.results[-3:]
+        mpls_start = window_mean(head, lambda r: r.stats.mpls_addresses)
+        mpls_end = window_mean(tail, lambda r: r.stats.mpls_addresses)
+        other_start = window_mean(
+            head, lambda r: r.stats.non_mpls_addresses)
+        other_end = window_mean(
+            tail, lambda r: r.stats.non_mpls_addresses)
+        return {
+            "mpls": (mpls_end - mpls_start) / max(1.0, mpls_start),
+            "non_mpls":
+                (other_end - other_start) / max(1.0, other_start),
+        }

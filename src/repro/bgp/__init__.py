@@ -1,0 +1,14 @@
+"""Inter-domain substrate: AS graph and valley-free routing."""
+
+from .asgraph import AsGraph, AsGraphError, AsNode, Relationship, Tier
+from .routing import BgpRouting, Route
+
+__all__ = [
+    "AsGraph",
+    "AsGraphError",
+    "AsNode",
+    "Relationship",
+    "Tier",
+    "BgpRouting",
+    "Route",
+]

@@ -1,0 +1,162 @@
+"""AS-level graph with business relationships.
+
+The inter-domain half of the simulator: autonomous systems connected by
+customer-to-provider (c2p) and peer-to-peer (p2p) edges, following the
+Gao-Rexford model.  :mod:`repro.bgp.routing` computes valley-free paths on
+top of this graph; the traceroute engine then walks those AS paths and
+descends into each AS's router-level topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class Relationship(Enum):
+    """Business relationship of a neighbor, seen from the local AS."""
+
+    CUSTOMER = "customer"   # the neighbor pays us
+    PEER = "peer"           # settlement-free
+    PROVIDER = "provider"   # we pay the neighbor
+
+
+class Tier(Enum):
+    """Coarse role of an AS in the hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+@dataclass
+class AsNode:
+    """One autonomous system."""
+
+    asn: int
+    name: str = ""
+    tier: Tier = Tier.STUB
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = f"AS{self.asn}"
+
+
+class AsGraphError(ValueError):
+    """Raised on inconsistent graph construction."""
+
+
+class AsGraph:
+    """The AS-level Internet: nodes plus typed adjacency."""
+
+    def __init__(self):
+        self.nodes: Dict[int, AsNode] = {}
+        # adjacency[asn] -> {neighbor_asn: Relationship-from-asn's-view}
+        self._adjacency: Dict[int, Dict[int, Relationship]] = {}
+
+    def add_as(self, node: AsNode) -> AsNode:
+        """Register an AS; ASNs must be unique."""
+        if node.asn in self.nodes:
+            raise AsGraphError(f"duplicate ASN {node.asn}")
+        self.nodes[node.asn] = node
+        self._adjacency[node.asn] = {}
+        return node
+
+    def _check_known(self, *asns: int) -> None:
+        for asn in asns:
+            if asn not in self.nodes:
+                raise AsGraphError(f"unknown ASN {asn}")
+
+    def add_c2p(self, customer: int, provider: int) -> None:
+        """Add a customer-to-provider edge."""
+        self._check_known(customer, provider)
+        if customer == provider:
+            raise AsGraphError(f"self-edge on AS {customer}")
+        self._adjacency[customer][provider] = Relationship.PROVIDER
+        self._adjacency[provider][customer] = Relationship.CUSTOMER
+
+    def add_p2p(self, left: int, right: int) -> None:
+        """Add a settlement-free peering edge."""
+        self._check_known(left, right)
+        if left == right:
+            raise AsGraphError(f"self-edge on AS {left}")
+        self._adjacency[left][right] = Relationship.PEER
+        self._adjacency[right][left] = Relationship.PEER
+
+    def relationship(self, local: int, neighbor: int
+                     ) -> Optional[Relationship]:
+        """How ``local`` sees ``neighbor`` (None if not adjacent)."""
+        return self._adjacency.get(local, {}).get(neighbor)
+
+    def neighbors(self, asn: int) -> Iterator[Tuple[int, Relationship]]:
+        """Yield (neighbor asn, relationship) sorted by neighbor asn."""
+        for neighbor in sorted(self._adjacency.get(asn, {})):
+            yield neighbor, self._adjacency[asn][neighbor]
+
+    def customers(self, asn: int) -> List[int]:
+        """ASNs that are customers of ``asn``."""
+        return [n for n, rel in self.neighbors(asn)
+                if rel is Relationship.CUSTOMER]
+
+    def providers(self, asn: int) -> List[int]:
+        """ASNs that are providers of ``asn``."""
+        return [n for n, rel in self.neighbors(asn)
+                if rel is Relationship.PROVIDER]
+
+    def peers(self, asn: int) -> List[int]:
+        """ASNs peering with ``asn``."""
+        return [n for n, rel in self.neighbors(asn)
+                if rel is Relationship.PEER]
+
+    def customer_cone(self, asn: int) -> Set[int]:
+        """All ASes reachable from ``asn`` walking only provider→customer."""
+        cone: Set[int] = {asn}
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in self.customers(current):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        return cone
+
+    def validate(self) -> None:
+        """Sanity-check the hierarchy.
+
+        Tier-1 ASes must have no providers; every non-tier-1 AS must have a
+        path up to some tier-1 (otherwise it is globally unreachable under
+        valley-free routing from outside its cone).
+        """
+        tier1 = {asn for asn, node in self.nodes.items()
+                 if node.tier is Tier.TIER1}
+        if not tier1:
+            raise AsGraphError("graph has no tier-1 AS")
+        for asn in tier1:
+            if self.providers(asn):
+                raise AsGraphError(f"tier-1 AS {asn} has a provider")
+        # Upward reachability: BFS down the c2p edges from the tier-1 clique.
+        reached = set(tier1)
+        frontier = list(tier1)
+        while frontier:
+            current = frontier.pop()
+            for customer in self.customers(current):
+                if customer not in reached:
+                    reached.add(customer)
+                    frontier.append(customer)
+        unreachable = set(self.nodes) - reached
+        if unreachable:
+            raise AsGraphError(
+                f"ASes without a provider path to tier-1: "
+                f"{sorted(unreachable)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __repr__(self) -> str:
+        edges = sum(len(adj) for adj in self._adjacency.values()) // 2
+        return f"AsGraph(ases={len(self.nodes)}, edges={edges})"

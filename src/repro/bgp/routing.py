@@ -1,0 +1,187 @@
+"""Valley-free inter-domain route computation.
+
+Implements the standard Gao-Rexford decision process on the AS graph:
+
+1. prefer routes learned from customers over peers over providers;
+2. among those, prefer the shortest AS path;
+3. tie-break on a deterministic hash of (destination, local AS, next
+   hop) — a stand-in for the real per-prefix tie-breakers (MED, router
+   ids, IGP distance) that, like them, spreads different destinations
+   over different equally-good next hops instead of funnelling
+   everything through one.
+
+Export rules: routes learned from a customer are exported to everyone;
+routes learned from a peer or a provider are exported to customers only.
+The resulting paths are exactly the valley-free ones: zero or more c2p
+steps up, at most one peering step across, zero or more p2c steps down.
+
+Routes are computed per destination AS with a three-stage relaxation
+(customer routes bottom-up, then peer routes, then provider routes
+top-down) and cached.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..igp.ecmp import flow_hash
+from .asgraph import AsGraph, Relationship
+
+# Route preference: lower sorts first.
+_PREFERENCE = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+class Route:
+    """One AS's best route towards a destination AS."""
+
+    __slots__ = ("kind", "length", "next_hop")
+
+    def __init__(self, kind: Relationship, length: int,
+                 next_hop: Optional[int]):
+        self.kind = kind          # relationship the route was learned over
+        self.length = length      # AS-path length (hops to destination)
+        self.next_hop = next_hop  # next AS on the path (None at the origin)
+
+    def __repr__(self) -> str:
+        return (f"Route(kind={self.kind.value}, length={self.length}, "
+                f"next_hop={self.next_hop})")
+
+
+class BgpRouting:
+    """Per-destination valley-free routing tables over an AS graph."""
+
+    def __init__(self, graph: AsGraph):
+        self.graph = graph
+        self._tables: Dict[int, Dict[int, Route]] = {}
+
+    def table_for(self, destination: int) -> Dict[int, Route]:
+        """Best route of every AS towards ``destination`` (cached)."""
+        table = self._tables.get(destination)
+        if table is None:
+            table = self._compute(destination)
+            self._tables[destination] = table
+        return table
+
+    def invalidate(self) -> None:
+        """Drop cached tables (call after graph changes)."""
+        self._tables.clear()
+
+    def _tie(self, destination: int, asn: int, via: int) -> int:
+        """Deterministic per-destination tie-break key (lower wins)."""
+        return flow_hash(destination, asn, via)
+
+    def _compute(self, destination: int) -> Dict[int, Route]:
+        if destination not in self.graph:
+            raise KeyError(f"unknown destination AS {destination}")
+        table: Dict[int, Route] = {
+            destination: Route(Relationship.CUSTOMER, 0, None)
+        }
+
+        def rank(asn: int, length: int, via: Optional[int]
+                 ) -> Tuple[int, int]:
+            if via is None:
+                return (length, -1)
+            return (length, self._tie(destination, asn, via))
+
+        # Stage 1 — customer routes: propagate up c2p edges.  An AS whose
+        # customer has any route to the destination learns a customer
+        # route.  Dijkstra on (length, tie-break).
+        heap: List[Tuple[int, int, int]] = []  # (length, via, asn)
+
+        def push_up(asn: int, length: int) -> None:
+            for provider in self.graph.providers(asn):
+                heapq.heappush(heap, (length + 1, asn, provider))
+
+        push_up(destination, 0)
+        while heap:
+            length, via, asn = heapq.heappop(heap)
+            existing = table.get(asn)
+            if existing is not None:
+                if rank(asn, existing.length, existing.next_hop) \
+                        <= rank(asn, length, via):
+                    continue
+            table[asn] = Route(Relationship.CUSTOMER, length, via)
+            push_up(asn, length)
+
+        customer_reachers = dict(table)
+
+        # Stage 2 — peer routes: one peering step into the customer zone.
+        peer_routes: Dict[int, Route] = {}
+        for asn, route in customer_reachers.items():
+            for peer in self.graph.peers(asn):
+                if peer in customer_reachers:
+                    continue  # customer routes always win
+                candidate = Route(Relationship.PEER, route.length + 1, asn)
+                existing = peer_routes.get(peer)
+                if existing is None or (
+                    rank(peer, candidate.length, candidate.next_hop)
+                    < rank(peer, existing.length, existing.next_hop)
+                ):
+                    peer_routes[peer] = candidate
+        table.update(peer_routes)
+
+        # Stage 3 — provider routes: propagate down p2c edges from every
+        # AS that already has a route.  Preference order within provider
+        # routes is again (length, tie-break).
+        heap = []
+        for asn, route in table.items():
+            for customer in self.graph.customers(asn):
+                if customer not in table:
+                    heapq.heappush(
+                        heap, (route.length + 1, asn, customer)
+                    )
+        while heap:
+            length, via, asn = heapq.heappop(heap)
+            existing = table.get(asn)
+            if existing is not None:
+                if existing.kind is not Relationship.PROVIDER:
+                    continue
+                if rank(asn, existing.length, existing.next_hop) \
+                        <= rank(asn, length, via):
+                    continue
+            table[asn] = Route(Relationship.PROVIDER, length, via)
+            for customer in self.graph.customers(asn):
+                if customer not in table or (
+                    table[customer].kind is Relationship.PROVIDER
+                ):
+                    heapq.heappush(heap, (length + 1, asn, customer))
+        return table
+
+    def next_as(self, source: int, destination: int) -> Optional[int]:
+        """Next AS hop from ``source`` towards ``destination``.
+
+        Returns None when the source has no valley-free route, or when the
+        source *is* the destination.
+        """
+        route = self.table_for(destination).get(source)
+        return route.next_hop if route is not None else None
+
+    def as_path(self, source: int, destination: int) -> Optional[List[int]]:
+        """Full AS path (source first, destination last), or None."""
+        if source == destination:
+            return [source]
+        table = self.table_for(destination)
+        path = [source]
+        current = source
+        while current != destination:
+            route = table.get(current)
+            if route is None or route.next_hop is None:
+                return None
+            current = route.next_hop
+            if current in path:
+                raise RuntimeError(
+                    f"routing loop towards {destination}: {path + [current]}"
+                )
+            path.append(current)
+        return path
+
+    def reachable(self, source: int, destination: int) -> bool:
+        """True if a valley-free path exists."""
+        return source == destination or (
+            self.table_for(destination).get(source) is not None
+        )

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Five subcommands mirror the measurement workflow:
+
+* ``simulate`` — run the simulated Archipelago for some cycles, writing
+  one warts-like archive per snapshot plus the matching pfx2as table;
+* ``show`` — pretty-print traces from an archive;
+* ``classify`` — run LPR over archived snapshots and print the filter
+  and classification report;
+* ``audit`` — per-AS MPLS usage profiles from archived snapshots;
+* ``study`` — regenerate paper artifacts from a fresh longitudinal run.
+
+Example round trip::
+
+    repro simulate --cycles 2 --out /tmp/campaign
+    repro classify --cycle-dir /tmp/campaign/cycle-01
+    repro study --artifacts table1 fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    ALL_ARTIFACTS,
+    format_table,
+    regenerate,
+    run_longitudinal_study,
+)
+from .core import LprPipeline
+from .core.report import render_report
+from .core.revelation import TunnelVisibility, visibility_census
+from .net.ip2as import Ip2AsMapper
+from .sim import ArkSimulator, paper_scenario
+from .warts import read_archive, write_archive
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPLS Under the Microscope — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run measurement cycles, write archives")
+    simulate.add_argument("--cycles", type=int, default=1)
+    simulate.add_argument("--first-cycle", type=int, default=1)
+    simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=2015)
+    simulate.add_argument("--out", type=Path, required=True,
+                          help="output directory")
+
+    show = sub.add_parser("show", help="print traces from an archive")
+    show.add_argument("--archive", type=Path, required=True)
+    show.add_argument("--limit", type=int, default=5)
+    show.add_argument("--mpls-only", action="store_true",
+                      help="only traces crossing an explicit tunnel")
+
+    classify = sub.add_parser(
+        "classify", help="run LPR over one cycle's archived snapshots")
+    classify.add_argument("--cycle-dir", type=Path, required=True,
+                          help="directory written by 'simulate' for "
+                               "one cycle")
+    classify.add_argument("--persistence-window", type=int, default=2)
+    classify.add_argument("--php-heuristic", action="store_true")
+
+    audit = sub.add_parser(
+        "audit", help="per-AS usage report from archived snapshots")
+    audit.add_argument("--cycle-dir", type=Path, required=True)
+    audit.add_argument("--limit", type=int, default=None,
+                       help="only the N busiest ASes")
+
+    study = sub.add_parser(
+        "study", help="regenerate paper tables/figures")
+    study.add_argument("--cycles", type=int, default=60)
+    study.add_argument("--scale", type=float, default=1.0)
+    study.add_argument("--seed", type=int, default=2015)
+    study.add_argument("--artifacts", nargs="+",
+                       default=["table1", "fig7"],
+                       choices=list(ALL_ARTIFACTS))
+    return parser
+
+
+def cmd_simulate(args) -> int:
+    simulator = ArkSimulator(
+        paper_scenario(scale=args.scale, seed=args.seed))
+    args.out.mkdir(parents=True, exist_ok=True)
+    with open(args.out / "pfx2as.txt", "w", encoding="utf-8") as stream:
+        simulator.internet.ip2as.dump(stream)
+    last = args.first_cycle + args.cycles - 1
+    for cycle in range(args.first_cycle, last + 1):
+        data = simulator.run_cycle(cycle)
+        cycle_dir = args.out / f"cycle-{cycle:02d}"
+        cycle_dir.mkdir(exist_ok=True)
+        for index, snapshot in enumerate(data.snapshots):
+            path = cycle_dir / f"snapshot-{index}.rwts"
+            count = write_archive(path, snapshot)
+            print(f"wrote {count:5d} traces -> {path}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    traces = read_archive(args.archive)
+    shown = 0
+    for trace in traces:
+        if args.mpls_only and not trace.has_mpls:
+            continue
+        print(trace)
+        print()
+        shown += 1
+        if shown >= args.limit:
+            break
+    print(f"({shown} of {len(traces)} traces shown)")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    snapshot_paths = sorted(args.cycle_dir.glob("snapshot-*.rwts"))
+    if not snapshot_paths:
+        print(f"no snapshot-*.rwts under {args.cycle_dir}",
+              file=sys.stderr)
+        return 1
+    pfx2as = args.cycle_dir.parent / "pfx2as.txt"
+    if not pfx2as.exists():
+        print(f"missing {pfx2as}", file=sys.stderr)
+        return 1
+    with open(pfx2as, "r", encoding="utf-8") as stream:
+        ip2as = Ip2AsMapper.load(stream)
+    snapshots = [read_archive(path) for path in snapshot_paths]
+
+    pipeline = LprPipeline(
+        ip2as, persistence_window=args.persistence_window,
+        php_heuristic=args.php_heuristic)
+    result = pipeline.process_snapshots(0, snapshots)
+
+    stats = result.filter_stats
+    print(f"traces: {result.stats.trace_count}, with tunnels: "
+          f"{result.stats.traces_with_tunnels} "
+          f"({result.stats.tunnel_trace_share:.1%})")
+    census = visibility_census(snapshots[0])
+    print()
+    print(format_table(
+        ["tunnel visibility", "tunnels", "traces with"],
+        [[visibility.value, census.tunnels[visibility],
+          census.traces_with[visibility]]
+         for visibility in TunnelVisibility],
+    ))
+    print()
+    print(format_table(
+        ["filter", "surviving LSPs"],
+        [["extracted", stats.extracted],
+         ["incomplete", stats.after_incomplete],
+         ["intra-AS", stats.after_intra_as],
+         ["target-AS", stats.after_target_as],
+         ["transit diversity", stats.after_transit_diversity],
+         ["persistence", stats.after_persistence]],
+    ))
+    if stats.reinjected_ases:
+        print(f"dynamic ASes (re-injected): {stats.reinjected_ases}")
+    print()
+    print(format_table(
+        ["class", "IOTPs", "share"],
+        [[tunnel_class.value, count,
+          f"{share:.2f}"]
+         for (tunnel_class, count), share in zip(
+             result.classification.counts().items(),
+             result.classification.shares().values())],
+    ))
+    return 0
+
+
+def _load_cycle(cycle_dir: Path):
+    snapshot_paths = sorted(cycle_dir.glob("snapshot-*.rwts"))
+    if not snapshot_paths:
+        raise FileNotFoundError(f"no snapshot-*.rwts under {cycle_dir}")
+    pfx2as = cycle_dir.parent / "pfx2as.txt"
+    with open(pfx2as, "r", encoding="utf-8") as stream:
+        ip2as = Ip2AsMapper.load(stream)
+    return ip2as, [read_archive(path) for path in snapshot_paths]
+
+
+def cmd_audit(args) -> int:
+    try:
+        ip2as, snapshots = _load_cycle(args.cycle_dir)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    pipeline = LprPipeline(ip2as)
+    result = pipeline.process_snapshots(0, snapshots)
+    print(render_report(result, limit=args.limit))
+    return 0
+
+
+def cmd_study(args) -> int:
+    study = run_longitudinal_study(scale=args.scale, seed=args.seed,
+                                   cycles=args.cycles)
+    for artifact in args.artifacts:
+        print(f"\n{regenerate(study, artifact)}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "show": cmd_show,
+    "classify": cmd_classify,
+    "audit": cmd_audit,
+    "study": cmd_study,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

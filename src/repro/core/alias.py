@@ -1,0 +1,130 @@
+"""Alias resolution and router-level IOTPs (paper §5 extensions).
+
+The paper deliberately works at the IP level, but sketches two
+refinements this module implements:
+
+* **Traceroute-based alias inference** — if two LSPs both reach address
+  ``A`` at some hop, the probes entered one router through one
+  interface, hence over one point-to-point link, hence from one
+  upstream router: the *predecessor* addresses of a shared address are
+  aliases of each other.  Applied transitively (union-find), this
+  yields router-level groupings from the LSP set alone.
+* **Router-level IOTPs** — regrouping IOTPs whose entry/exit addresses
+  resolve to the same routers.  This merges IOTPs that the IP-level
+  view splits artificially (multi-interface LERs), giving fewer, wider
+  IOTPs, "closer to the actual MPLS usage" as §5 puts it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import Iotp, IotpKey, Lsp
+
+
+class UnionFind:
+    """Disjoint sets over hashable items, path-compressed."""
+
+    def __init__(self):
+        self._parent: Dict = {}
+
+    def find(self, item):
+        """Representative of ``item``'s set (inserting it if new)."""
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, left, right) -> None:
+        """Merge the sets containing ``left`` and ``right``."""
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root != right_root:
+            # Deterministic orientation: smaller root wins.
+            if right_root < left_root:
+                left_root, right_root = right_root, left_root
+            self._parent[right_root] = left_root
+
+    def groups(self) -> List[Set]:
+        """All sets with at least two members."""
+        by_root: Dict = {}
+        for item in list(self._parent):
+            by_root.setdefault(self.find(item), set()).add(item)
+        return [group for group in by_root.values() if len(group) > 1]
+
+
+class AliasResolver:
+    """Maps interface addresses to router representatives."""
+
+    def __init__(self, union_find: Optional[UnionFind] = None):
+        self._sets = union_find if union_find is not None else UnionFind()
+
+    def add_alias_pair(self, left: int, right: int) -> None:
+        """Record that two addresses belong to one router."""
+        self._sets.union(left, right)
+
+    def resolve(self, address: int) -> int:
+        """The canonical (router-representative) address."""
+        return self._sets.find(address)
+
+    def are_aliases(self, left: int, right: int) -> bool:
+        """Whether two addresses resolve to the same router."""
+        return self._sets.find(left) == self._sets.find(right)
+
+    def alias_sets(self) -> List[Set[int]]:
+        """All non-trivial alias sets found."""
+        return self._sets.groups()
+
+
+def infer_aliases(lsps: Iterable[Lsp]) -> AliasResolver:
+    """Infer aliases from LSP structure (the §5 heuristic).
+
+    For every address ``A`` observed at some hop, collect the addresses
+    observed immediately *before* ``A`` (the LSP's entry counts as the
+    predecessor of its first hop, and the last hop as the predecessor of
+    the exit).  Probes reaching ``A`` entered one interface, i.e. one
+    upstream link — so all of A's predecessors are aliases of one
+    upstream router.
+    """
+    resolver = AliasResolver()
+    predecessors: Dict[int, Set[int]] = {}
+    for lsp in lsps:
+        chain: List[int] = []
+        if lsp.entry is not None:
+            chain.append(lsp.entry)
+        chain.extend(lsp.addresses)
+        if lsp.exit is not None:
+            chain.append(lsp.exit)
+        for before, after in zip(chain, chain[1:]):
+            predecessors.setdefault(after, set()).add(before)
+    for group in predecessors.values():
+        ordered = sorted(group)
+        for other in ordered[1:]:
+            resolver.add_alias_pair(ordered[0], other)
+    return resolver
+
+
+def router_level_iotps(iotps: Dict[IotpKey, Iotp],
+                       resolver: AliasResolver) -> Dict[IotpKey, Iotp]:
+    """Regroup IP-level IOTPs by router-level <Ingress; Egress> pairs.
+
+    Two IOTPs merge when their entry addresses are aliases and their
+    exit addresses are aliases.  The merged IOTP keeps the smallest
+    (canonical) entry/exit addresses as its key and unions branches,
+    destination ASes and the dynamic tag.
+    """
+    merged: Dict[IotpKey, Iotp] = {}
+    for iotp in iotps.values():
+        key = (iotp.asn, resolver.resolve(iotp.entry),
+               resolver.resolve(iotp.exit))
+        target = merged.get(key)
+        if target is None:
+            target = Iotp(asn=iotp.asn, entry=key[1], exit=key[2])
+            merged[key] = target
+        for signature, lsp in iotp.lsps.items():
+            target.lsps.setdefault(signature, lsp)
+        target.dst_asns |= iotp.dst_asns
+        target.dynamic = target.dynamic or iotp.dynamic
+    return merged

@@ -1,0 +1,183 @@
+"""The LPR classification stage (paper §3.2, Algorithm 1).
+
+Each filtered IOTP lands in exactly one class:
+
+* ``MONO_LSP`` — a single distinct LSP: no observable transit diversity.
+* ``MULTI_FEC`` — some *common IP address* (an LSR interface crossed by
+  at least two LSPs) carries different labels for different LSPs.  LDP
+  labels have router scope — an LSR proposes one label per destination
+  to all upstreams — so distinct labels at one interface can only come
+  from per-session allocation, i.e. RSVP-TE traffic engineering.
+* ``MONO_FEC`` — every common IP address carries a single label: the LDP
+  signature, diversity coming from IGP ECMP.  Subclassified into
+  ``PARALLEL_LINKS`` (identical label sequences on different addresses —
+  the addresses are aliases reached over parallel links) and
+  ``ROUTERS_DISJOINT`` (labels and addresses both differ somewhere).
+* ``UNCLASSIFIED`` — no common IP address at all (LSPs that only
+  converge at a PHP egress, which shows no label).
+
+The optional ``php_heuristic`` implements the §5 alias trick: the exit
+address is shared by construction, and packets entering a router through
+one interface arrive over one upstream link — so the *last* LSR of every
+branch must be one penultimate router, and their labels can be compared
+as if on a common address.  This removes the Unclassified class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .model import Iotp, IotpKey
+
+
+class TunnelClass(Enum):
+    """Top-level LPR classes (Algorithm 1)."""
+
+    MONO_LSP = "mono-lsp"
+    MULTI_FEC = "multi-fec"
+    MONO_FEC = "mono-fec"
+    UNCLASSIFIED = "unclassified"
+
+
+class MonoFecSubclass(Enum):
+    """ECMP flavours inside the Mono-FEC class (paper Fig 4c/4d)."""
+
+    ROUTERS_DISJOINT = "routers-disjoint"
+    PARALLEL_LINKS = "parallel-links"
+
+
+@dataclass(frozen=True)
+class IotpVerdict:
+    """Classification outcome for one IOTP."""
+
+    key: IotpKey
+    tunnel_class: TunnelClass
+    subclass: Optional[MonoFecSubclass] = None
+    dynamic: bool = False
+    width: int = 1
+    length: int = 0
+    symmetry: int = 0
+
+
+@dataclass
+class ClassificationResult:
+    """All verdicts of one cycle, with aggregation helpers."""
+
+    verdicts: Dict[IotpKey, IotpVerdict] = field(default_factory=dict)
+
+    def add(self, verdict: IotpVerdict) -> None:
+        self.verdicts[verdict.key] = verdict
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+    def of_class(self, tunnel_class: TunnelClass) -> List[IotpVerdict]:
+        """Verdicts belonging to one class."""
+        return [v for v in self.verdicts.values()
+                if v.tunnel_class is tunnel_class]
+
+    def counts(self) -> Dict[TunnelClass, int]:
+        """IOTP count per class."""
+        result = {tunnel_class: 0 for tunnel_class in TunnelClass}
+        for verdict in self.verdicts.values():
+            result[verdict.tunnel_class] += 1
+        return result
+
+    def shares(self) -> Dict[TunnelClass, float]:
+        """Class shares (the PDF bars of Figs 6b and 10–15)."""
+        total = len(self.verdicts)
+        counts = self.counts()
+        if total == 0:
+            return {tunnel_class: 0.0 for tunnel_class in TunnelClass}
+        return {tunnel_class: counts[tunnel_class] / total
+                for tunnel_class in TunnelClass}
+
+    def subclass_shares(self) -> Dict[MonoFecSubclass, float]:
+        """Parallel-links vs routers-disjoint split (Fig 13)."""
+        mono_fec = self.of_class(TunnelClass.MONO_FEC)
+        result = {subclass: 0.0 for subclass in MonoFecSubclass}
+        if not mono_fec:
+            return result
+        for verdict in mono_fec:
+            result[verdict.subclass] += 1
+        return {subclass: count / len(mono_fec)
+                for subclass, count in result.items()}
+
+    def for_as(self, asn: int) -> "ClassificationResult":
+        """The sub-result restricted to one AS."""
+        restricted = ClassificationResult()
+        for key, verdict in self.verdicts.items():
+            if key[0] == asn:
+                restricted.add(verdict)
+        return restricted
+
+
+def classify_iotp(iotp: Iotp, php_heuristic: bool = False) -> IotpVerdict:
+    """Algorithm 1, lines 7–28, for a single IOTP."""
+    base = dict(key=iotp.key, dynamic=iotp.dynamic, width=iotp.width,
+                length=iotp.length, symmetry=iotp.symmetry)
+
+    if iotp.width == 1:
+        return IotpVerdict(tunnel_class=TunnelClass.MONO_LSP, **base)
+
+    common = iotp.common_addresses()
+    if not common:
+        if php_heuristic:
+            return IotpVerdict(
+                tunnel_class=_php_alias_class(iotp),
+                subclass=None, **base,
+            )
+        return IotpVerdict(tunnel_class=TunnelClass.UNCLASSIFIED, **base)
+
+    for address in common:
+        if len(iotp.labels_at(address)) > 1:
+            return IotpVerdict(tunnel_class=TunnelClass.MULTI_FEC, **base)
+
+    return IotpVerdict(
+        tunnel_class=TunnelClass.MONO_FEC,
+        subclass=subclassify_mono_fec(iotp),
+        **base,
+    )
+
+
+def subclassify_mono_fec(iotp: Iotp) -> MonoFecSubclass:
+    """Parallel links vs disjoint routers (paper §3.2, class 3).
+
+    If every branch carries the *same label sequence* while the
+    addresses differ, the differing addresses must be aliases of the
+    same LSRs (LDP labels are router-scoped), i.e. diversity comes from
+    parallel links only.  Any label difference means distinct routers
+    were crossed somewhere.
+    """
+    sequences = {lsp.labels for lsp in iotp.lsps.values()}
+    if len(sequences) == 1:
+        return MonoFecSubclass.PARALLEL_LINKS
+    return MonoFecSubclass.ROUTERS_DISJOINT
+
+
+def _php_alias_class(iotp: Iotp) -> TunnelClass:
+    """§5 heuristic for IOTPs whose LSPs share no common address.
+
+    All branches end at the same exit interface; to enter it they used
+    one upstream link from one penultimate router, so each branch's last
+    LSR is an alias of that router.  Compare the labels there as if it
+    were a common IP: several labels on one (aliased) router is the
+    Multi-FEC signature, a single label the Mono-FEC one.
+    """
+    last_labels = {
+        lsp.hops[-1][1] for lsp in iotp.lsps.values() if lsp.hops
+    }
+    if len(last_labels) > 1:
+        return TunnelClass.MULTI_FEC
+    return TunnelClass.MONO_FEC
+
+
+def classify(iotps: Mapping[IotpKey, Iotp],
+             php_heuristic: bool = False) -> ClassificationResult:
+    """Classify every filtered IOTP of a cycle (Algorithm 1)."""
+    result = ClassificationResult()
+    for key in sorted(iotps):
+        result.add(classify_iotp(iotps[key], php_heuristic))
+    return result

@@ -1,0 +1,132 @@
+"""Label-dynamics analysis (paper §4.5, Fig 17).
+
+Given a high-frequency probing campaign through a re-optimizing AS, this
+module extracts, per LSR interface, the time series of observed labels
+and quantifies the sawtooth: change points, wrap-arounds, and the
+per-LSR churn rate whose differences reveal relative LSR load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.ip2as import Ip2AsMapper
+from ..traces import Trace
+
+# One observation: (timestamp seconds, label value).
+LabelSample = Tuple[float, int]
+
+
+def label_series(traces: Iterable[Trace], ip2as: Ip2AsMapper,
+                 asn: int) -> Dict[int, List[LabelSample]]:
+    """Per-LSR label time series inside one AS.
+
+    Returns a map from LSR interface address to its chronological
+    (timestamp, label) samples, considering only labeled hops whose
+    address maps to ``asn``.
+    """
+    series: Dict[int, List[LabelSample]] = {}
+    for trace in traces:
+        for hop in trace.hops:
+            if hop.address is None or not hop.has_labels:
+                continue
+            if ip2as.lookup_single(hop.address) != asn:
+                continue
+            series.setdefault(hop.address, []).append(
+                (trace.timestamp, hop.labels[0])
+            )
+    for samples in series.values():
+        samples.sort()
+    return series
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Shape statistics of one LSR's label evolution."""
+
+    samples: int
+    distinct_labels: int
+    change_points: int          # samples where the label differs from
+                                # the previous one
+    wraps: int                  # label decreased: allocator wrapped
+    min_label: int
+    max_label: int
+    mean_step: float            # average label increase per change
+
+    @property
+    def changes_per_sample(self) -> float:
+        """Churn rate; higher means the LSR is more solicited."""
+        if self.samples <= 1:
+            return 0.0
+        return self.change_points / (self.samples - 1)
+
+
+def summarize_series(samples: Sequence[LabelSample]) -> SeriesSummary:
+    """Describe one label time series (one curve of Fig 17)."""
+    if not samples:
+        raise ValueError("empty label series")
+    labels = [label for _, label in samples]
+    changes = 0
+    wraps = 0
+    increases: List[int] = []
+    for previous, current in zip(labels, labels[1:]):
+        if current == previous:
+            continue
+        changes += 1
+        if current < previous:
+            wraps += 1
+        else:
+            increases.append(current - previous)
+    mean_step = sum(increases) / len(increases) if increases else 0.0
+    return SeriesSummary(
+        samples=len(samples),
+        distinct_labels=len(set(labels)),
+        change_points=changes,
+        wraps=wraps,
+        min_label=min(labels),
+        max_label=max(labels),
+        mean_step=mean_step,
+    )
+
+
+def summarize_all(series: Dict[int, List[LabelSample]]
+                  ) -> Dict[int, SeriesSummary]:
+    """Summaries for every LSR of a campaign."""
+    return {address: summarize_series(samples)
+            for address, samples in series.items() if samples}
+
+
+def rank_by_churn(summaries: Dict[int, SeriesSummary]
+                  ) -> List[Tuple[int, SeriesSummary]]:
+    """LSRs ordered busiest-first (paper: LSR2 evolves faster than LSR1).
+
+    Churn compares labels *consumed* over the campaign: changes weighted
+    by their mean step, i.e. how far the allocator counter travelled.
+    """
+    def travelled(summary: SeriesSummary) -> float:
+        span = max(1, summary.max_label - summary.min_label)
+        return summary.change_points * summary.mean_step \
+            + summary.wraps * span
+
+    return sorted(summaries.items(),
+                  key=lambda item: travelled(item[1]), reverse=True)
+
+
+def step_durations(samples: Sequence[LabelSample]) -> List[float]:
+    """Time spent on each label before it changed (seconds).
+
+    The paper notes that step durations are not all equal — some label
+    changes are event-driven rather than timer-driven.
+    """
+    durations: List[float] = []
+    step_start: Optional[float] = None
+    previous_label: Optional[int] = None
+    for timestamp, label in samples:
+        if previous_label is None:
+            step_start = timestamp
+        elif label != previous_label:
+            durations.append(timestamp - step_start)
+            step_start = timestamp
+        previous_label = label
+    return durations

@@ -1,0 +1,122 @@
+"""Extraction of explicit MPLS tunnels from traceroute data.
+
+The paper (§2.3) focuses on *explicit* tunnels: ttl-propagate makes the
+LSRs appear in the trace, RFC 4950 makes them quote their label stacks.
+Extraction therefore scans each trace for maximal runs of label-quoting
+hops and records the surrounding context (ingress hop before, exit hop
+after).
+
+Anonymous hops need care: a '*' *inside* a run (labeled, silent, labeled)
+is almost certainly an LSR that dropped the probe, so the run is kept as
+one LSP but flagged incomplete — the paper's first filter then discards
+it, exactly like its "Incomplete LSPs" row in Table 1.
+
+Not every labeled hop belongs to an explicit tunnel: an *opaque* tunnel
+(RFC 4950 without ttl-propagate) reveals one hop quoting an LSE whose
+TTL is still near 255 — the probe's TTL was never copied into it.  Such
+hops carry no per-LSR label sequence to classify, so extraction keeps
+only hops whose quoted LSE-TTL shows genuine propagation
+(:data:`MAX_EXPLICIT_LSE_TTL`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..traces import Trace, TraceHop
+from .model import Lsp
+
+# An explicit-tunnel LSR quotes the LSE-TTL the dying probe carried:
+# 1 (or 0 on some implementations).  Anything larger means the LSE-TTL
+# was initialized to 255 at the ingress — an opaque tunnel's signature.
+MAX_EXPLICIT_LSE_TTL = 2
+
+
+def is_explicit_hop(hop: TraceHop) -> bool:
+    """True when a hop's quoted stack is explicit-tunnel evidence."""
+    return (hop.has_labels
+            and hop.quoted_stack[0].ttl <= MAX_EXPLICIT_LSE_TTL)
+
+
+def extract_lsps(trace: Trace) -> List[Lsp]:
+    """All explicit-tunnel observations in one trace.
+
+    Returns one :class:`Lsp` per labeled run.  A run is *incomplete* when
+    it contains an anonymous hop, when the hop before or after the run is
+    anonymous, or when the run touches either end of the trace (no
+    context hop at all).
+    """
+    hops = trace.hops
+    lsps: List[Lsp] = []
+    index = 0
+    while index < len(hops):
+        if not is_explicit_hop(hops[index]):
+            index += 1
+            continue
+        run_start = index
+        run_end = index  # inclusive index of last labeled hop
+        probe = index + 1
+        holes = 0
+        pending_holes = 0
+        while probe < len(hops):
+            hop = hops[probe]
+            if is_explicit_hop(hop):
+                run_end = probe
+                holes += pending_holes
+                pending_holes = 0
+                probe += 1
+            elif hop.is_anonymous:
+                # Possibly an LSR that did not reply; absorb it only if
+                # labels resume afterwards.
+                pending_holes += 1
+                probe += 1
+            else:
+                break
+        lsps.append(_build_lsp(trace, run_start, run_end, holes))
+        index = run_end + 1 + pending_holes
+    return lsps
+
+
+def _build_lsp(trace: Trace, run_start: int, run_end: int,
+               holes: int) -> Lsp:
+    hops = trace.hops
+    labeled = [hop for hop in hops[run_start:run_end + 1]
+               if is_explicit_hop(hop)]
+
+    entry: Optional[int] = None
+    if run_start > 0:
+        before = hops[run_start - 1]
+        if not before.is_anonymous:
+            entry = before.address
+
+    exit_: Optional[int] = None
+    if run_end + 1 < len(hops):
+        after = hops[run_end + 1]
+        if not after.is_anonymous:
+            exit_ = after.address
+
+    complete = holes == 0 and entry is not None and exit_ is not None
+    return Lsp(
+        entry=entry,
+        exit=exit_,
+        hops=tuple((hop.address, hop.labels[0]) for hop in labeled),
+        complete=complete,
+        monitor=trace.monitor,
+        dst=trace.dst,
+    )
+
+
+def extract_all(traces: Iterable[Trace]) -> List[Lsp]:
+    """Extract every explicit tunnel from a collection of traces."""
+    lsps: List[Lsp] = []
+    for trace in traces:
+        lsps.extend(extract_lsps(trace))
+    return lsps
+
+
+def traces_with_tunnels(traces: Iterable[Trace]) -> int:
+    """How many traces traverse at least one explicit tunnel (Fig 5a)."""
+    return sum(
+        1 for trace in traces
+        if any(is_explicit_hop(hop) for hop in trace.hops)
+    )

@@ -1,0 +1,150 @@
+"""LSP-tree analysis (paper §5 future work).
+
+LDP does not build point-to-point tunnels: it builds an *LSP-tree* per
+FEC, rooted at the egress — packets from several Ingress LERs arrive at
+a shared LSR over different interfaces but leave with the same outgoing
+label.  The paper proposes indexing LSPs by Egress LER only, so that
+more of them can be classified (an IOTP needs a shared ingress; a tree
+does not).
+
+:func:`group_into_trees` regroups filtered LSPs by (AS, exit address);
+:func:`classify_tree` applies the same label-scope reasoning as
+Algorithm 1 at tree granularity: a *consistent* tree carries one label
+per common address (LDP), an *inconsistent* one carries several
+(RSVP-TE sessions towards that egress).  Because trees merge branches
+from many ingresses, strictly more LSPs become classifiable than with
+IOTPs — asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .model import Lsp, LspSignature
+
+# The key of an LSP-tree: (asn, exit address).
+TreeKey = Tuple[int, int]
+
+
+class TreeClass(Enum):
+    """Label consistency of one egress-rooted tree."""
+
+    SINGLE_BRANCH = "single-branch"    # one LSP only: nothing to compare
+    CONSISTENT = "consistent"          # LDP signature (router-scoped)
+    INCONSISTENT = "inconsistent"      # per-session labels (RSVP-TE)
+    DISJOINT = "disjoint"              # branches share no LSR
+
+
+@dataclass
+class LspTree:
+    """All observed LSPs converging on one Egress LER."""
+
+    asn: int
+    exit: int
+    lsps: Dict[LspSignature, Lsp] = field(default_factory=dict)
+    ingresses: Set[int] = field(default_factory=set)
+    dst_asns: Set[int] = field(default_factory=set)
+
+    @property
+    def key(self) -> TreeKey:
+        return (self.asn, self.exit)
+
+    def add(self, lsp: Lsp, dst_asn: int) -> None:
+        """Record one branch observation."""
+        self.lsps.setdefault(lsp.signature, lsp)
+        if lsp.entry is not None:
+            self.ingresses.add(lsp.entry)
+        self.dst_asns.add(dst_asn)
+
+    @property
+    def branch_count(self) -> int:
+        """Distinct (label-sequence) branches."""
+        return len(self.lsps)
+
+    @property
+    def ingress_count(self) -> int:
+        """Distinct Ingress LER addresses feeding the tree."""
+        return len(self.ingresses)
+
+    def common_addresses(self) -> Set[int]:
+        """LSR addresses crossed by at least two branches."""
+        seen: Dict[int, int] = {}
+        for lsp in self.lsps.values():
+            for address in set(lsp.addresses):
+                seen[address] = seen.get(address, 0) + 1
+        return {address for address, count in seen.items() if count >= 2}
+
+    def labels_at(self, address: int) -> Set[int]:
+        """All labels observed on one address across branches."""
+        return {
+            label for lsp in self.lsps.values()
+            for hop_address, label in lsp.hops if hop_address == address
+        }
+
+
+def group_into_trees(lsps: Iterable[Tuple[Lsp, int]]
+                     ) -> Dict[TreeKey, LspTree]:
+    """Group (LSP, destination ASN) pairs by their Egress LER."""
+    trees: Dict[TreeKey, LspTree] = {}
+    for lsp, dst_asn in lsps:
+        if lsp.asn is None or lsp.exit is None:
+            raise ValueError(f"unmapped or incomplete LSP: {lsp}")
+        key = (lsp.asn, lsp.exit)
+        tree = trees.get(key)
+        if tree is None:
+            tree = LspTree(asn=lsp.asn, exit=lsp.exit)
+            trees[key] = tree
+        tree.add(lsp, dst_asn)
+    return trees
+
+
+def classify_tree(tree: LspTree) -> TreeClass:
+    """Label-scope classification of one egress-rooted tree."""
+    if tree.branch_count == 1:
+        return TreeClass.SINGLE_BRANCH
+    common = tree.common_addresses()
+    if not common:
+        return TreeClass.DISJOINT
+    for address in common:
+        if len(tree.labels_at(address)) > 1:
+            return TreeClass.INCONSISTENT
+    return TreeClass.CONSISTENT
+
+
+@dataclass
+class TreeReport:
+    """Aggregate LSP-tree statistics for one cycle."""
+
+    tree_count: int
+    counts: Dict[TreeClass, int]
+    mean_ingresses: float
+    mean_branches: float
+    classified_lsps: int
+
+    def share(self, tree_class: TreeClass) -> float:
+        if self.tree_count == 0:
+            return 0.0
+        return self.counts.get(tree_class, 0) / self.tree_count
+
+
+def analyze_trees(trees: Dict[TreeKey, LspTree]) -> TreeReport:
+    """Classify every tree and summarize."""
+    counts = {tree_class: 0 for tree_class in TreeClass}
+    comparable = 0
+    for tree in trees.values():
+        verdict = classify_tree(tree)
+        counts[verdict] += 1
+        if verdict in (TreeClass.CONSISTENT, TreeClass.INCONSISTENT):
+            comparable += tree.branch_count
+    total = len(trees)
+    return TreeReport(
+        tree_count=total,
+        counts=counts,
+        mean_ingresses=(sum(t.ingress_count for t in trees.values())
+                        / total if total else 0.0),
+        mean_branches=(sum(t.branch_count for t in trees.values())
+                       / total if total else 0.0),
+        classified_lsps=comparable,
+    )

@@ -1,0 +1,93 @@
+"""IOTP-level metrics: length, width, symmetry (paper §4.3).
+
+The paper adapts the load-balanced-path metrics of Augustin et al. to
+MPLS tunnels:
+
+* **length** — LSRs in the longest LSP of the IOTP (LERs not counted);
+* **width** — number of branches (physically or logically distinct LSPs);
+* **symmetry** — length difference between the longest and shortest
+  branches; 0 means the IOTP is balanced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .classification import (
+    ClassificationResult,
+    IotpVerdict,
+    TunnelClass,
+)
+
+
+def distribution(values: Iterable[int],
+                 clamp: Optional[int] = None) -> Dict[int, float]:
+    """Normalized histogram (a PDF over integer values).
+
+    With ``clamp``, every value above it is folded into the clamp bucket
+    (the paper's ">= 10" width bucket in Fig 8).
+    """
+    counts: Dict[int, int] = {}
+    total = 0
+    for value in values:
+        if clamp is not None and value > clamp:
+            value = clamp
+        counts[value] = counts.get(value, 0) + 1
+        total += 1
+    if total == 0:
+        return {}
+    return {value: count / total
+            for value, count in sorted(counts.items())}
+
+
+def length_distribution(result: ClassificationResult) -> Dict[int, float]:
+    """IOTP length PDF over all classes (Fig 7)."""
+    return distribution(v.length for v in result.verdicts.values())
+
+
+def width_distribution(result: ClassificationResult,
+                       clamp: int = 10) -> Dict[int, float]:
+    """IOTP width PDF over all classes (Fig 8a)."""
+    return distribution(
+        (v.width for v in result.verdicts.values()), clamp=clamp,
+    )
+
+
+def width_distribution_by_class(
+    result: ClassificationResult, clamp: int = 10
+) -> Dict[TunnelClass, Dict[int, float]]:
+    """Per-class width PDFs (Fig 8b compares Mono-FEC vs Multi-FEC)."""
+    return {
+        tunnel_class: distribution(
+            (v.width for v in result.of_class(tunnel_class)), clamp=clamp,
+        )
+        for tunnel_class in TunnelClass
+    }
+
+
+def symmetry_distribution_by_class(
+    result: ClassificationResult, clamp: int = 8
+) -> Dict[TunnelClass, Dict[int, float]]:
+    """Per-class symmetry PDFs (Fig 9; Mono-LSP is balanced by definition
+    and therefore excluded by the paper)."""
+    return {
+        tunnel_class: distribution(
+            (v.symmetry for v in result.of_class(tunnel_class)),
+            clamp=clamp,
+        )
+        for tunnel_class in (TunnelClass.MONO_FEC, TunnelClass.MULTI_FEC)
+    }
+
+
+def balanced_share(result: ClassificationResult,
+                   tunnel_class: TunnelClass) -> float:
+    """Fraction of one class's IOTPs with symmetry 0 (paper: ~80%)."""
+    verdicts = result.of_class(tunnel_class)
+    if not verdicts:
+        return 0.0
+    return sum(1 for v in verdicts if v.symmetry == 0) / len(verdicts)
+
+
+def share_at_most(pdf: Mapping[int, float], bound: int) -> float:
+    """Cumulative probability of values <= bound in a PDF."""
+    return sum(share for value, share in pdf.items() if value <= bound)

@@ -1,0 +1,171 @@
+"""LSP and IOTP data structures — the vocabulary of LPR.
+
+From a traceroute, an *explicit tunnel* appears as a maximal run of hops
+quoting RFC 4950 label stacks.  The run's hops are the LSRs; the hop just
+before it is the Ingress LER (it pushed the stack, so it never shows one),
+and the hop just after it is the tunnel exit (the Egress LER under PHP).
+
+An **IOTP** (In-Out Transit Pair, paper §3) groups every observed LSP
+sharing the same ``<Ingress LER; Egress LER>`` IP pair; its distinct label-
+and-IP branches are what LPR classifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..net.ip import int_to_ip
+
+# One labeled hop: (interface address, top label value).
+LspHop = Tuple[int, int]
+# The identity of an LSP: entry, exit, and its labeled hops.
+LspSignature = Tuple[int, int, Tuple[LspHop, ...]]
+
+
+@dataclass(frozen=True)
+class Lsp:
+    """One observed label-switched path (from a single trace).
+
+    Attributes:
+        entry: address of the Ingress LER (the hop before the labeled
+            run), or None when that hop was anonymous/absent.
+        exit: address of the tunnel exit (the hop after the labeled run),
+            or None when anonymous/absent.
+        hops: the labeled hops, in TTL order.
+        complete: False when an anonymous hop interrupts the run or an
+            endpoint is missing — the paper's first filter drops these.
+        monitor: vantage point that observed it.
+        dst: traceroute destination address.
+        asn: AS of the LSRs (filled in by the IntraAS filter;
+            None before mapping, or when the hops span several origins).
+    """
+
+    entry: Optional[int]
+    exit: Optional[int]
+    hops: Tuple[LspHop, ...]
+    complete: bool
+    monitor: str
+    dst: int
+    asn: Optional[int] = None
+
+    @property
+    def signature(self) -> LspSignature:
+        """Identity used for diversity and persistence comparisons."""
+        return (self.entry, self.exit, self.hops)
+
+    @property
+    def length(self) -> int:
+        """Number of LSRs revealed (labeled hops)."""
+        return len(self.hops)
+
+    @property
+    def addresses(self) -> Tuple[int, ...]:
+        """LSR interface addresses, in order."""
+        return tuple(address for address, _ in self.hops)
+
+    @property
+    def labels(self) -> Tuple[int, ...]:
+        """Label values, in order."""
+        return tuple(label for _, label in self.hops)
+
+    def with_asn(self, asn: int) -> "Lsp":
+        """A copy with the owning AS filled in."""
+        return Lsp(entry=self.entry, exit=self.exit, hops=self.hops,
+                   complete=self.complete, monitor=self.monitor,
+                   dst=self.dst, asn=asn)
+
+    def __str__(self) -> str:
+        entry = int_to_ip(self.entry) if self.entry is not None else "?"
+        exit_ = int_to_ip(self.exit) if self.exit is not None else "?"
+        inner = " -> ".join(
+            f"{int_to_ip(address)}({label})" for address, label in self.hops
+        )
+        return f"[{entry}] {inner} [{exit_}]"
+
+
+# The key of an IOTP: (asn, ingress address, exit address).
+IotpKey = Tuple[int, int, int]
+
+
+@dataclass
+class Iotp:
+    """An In-Out Transit Pair: all LSPs between one LER pair in one AS."""
+
+    asn: int
+    entry: int
+    exit: int
+    lsps: Dict[LspSignature, Lsp] = field(default_factory=dict)
+    dst_asns: Set[int] = field(default_factory=set)
+    dynamic: bool = False
+
+    @property
+    def key(self) -> IotpKey:
+        return (self.asn, self.entry, self.exit)
+
+    def add(self, lsp: Lsp, dst_asn: int) -> None:
+        """Record one observed LSP and the destination AS it served."""
+        self.lsps.setdefault(lsp.signature, lsp)
+        self.dst_asns.add(dst_asn)
+
+    @property
+    def branches(self) -> List[Lsp]:
+        """Distinct LSPs, in a stable order."""
+        return [self.lsps[s] for s in sorted(self.lsps)]
+
+    @property
+    def width(self) -> int:
+        """Number of distinct branches (physical or logical)."""
+        return len(self.lsps)
+
+    @property
+    def length(self) -> int:
+        """LSR count of the longest branch (paper §4.3)."""
+        return max(lsp.length for lsp in self.lsps.values())
+
+    @property
+    def symmetry(self) -> int:
+        """Longest minus shortest branch LSR count (0 = balanced)."""
+        lengths = [lsp.length for lsp in self.lsps.values()]
+        return max(lengths) - min(lengths)
+
+    def common_addresses(self) -> Set[int]:
+        """Interface addresses traversed by at least two distinct LSPs."""
+        seen: Dict[int, int] = {}
+        for lsp in self.lsps.values():
+            for address in set(lsp.addresses):
+                seen[address] = seen.get(address, 0) + 1
+        return {address for address, count in seen.items() if count >= 2}
+
+    def labels_at(self, address: int) -> Set[int]:
+        """All labels observed on one interface address, across LSPs."""
+        return {
+            label for lsp in self.lsps.values()
+            for hop_address, label in lsp.hops if hop_address == address
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Iotp(asn={self.asn}, {int_to_ip(self.entry)} -> "
+            f"{int_to_ip(self.exit)}, width={self.width})"
+        )
+
+
+def group_into_iotps(lsps) -> Dict[IotpKey, Iotp]:
+    """Group mapped LSPs into IOTPs keyed by (asn, entry, exit).
+
+    LSPs must already carry their AS (IntraAS filter) and have concrete
+    entry/exit addresses (complete).  The destination AS of each LSP's
+    trace feeds the TransitDiversity filter.
+    """
+    iotps: Dict[IotpKey, Iotp] = {}
+    for lsp, dst_asn in lsps:
+        if lsp.asn is None or lsp.entry is None or lsp.exit is None:
+            raise ValueError(f"unmapped or incomplete LSP: {lsp}")
+        key = (lsp.asn, lsp.entry, lsp.exit)
+        iotp = iotps.get(key)
+        if iotp is None:
+            iotp = Iotp(asn=lsp.asn, entry=lsp.entry, exit=lsp.exit)
+            iotps[key] = iotp
+        iotp.add(lsp, dst_asn)
+    return iotps

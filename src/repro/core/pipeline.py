@@ -1,0 +1,184 @@
+"""End-to-end LPR driver: traces in, classified IOTPs out.
+
+One :class:`LprPipeline` call per measurement cycle:
+
+1. dataset statistics on the raw traces (Fig 5 inputs);
+2. explicit-tunnel extraction (§2.3);
+3. the five filters, using the cycle's follow-up snapshots for
+   persistence (§3.1);
+4. Algorithm-1 classification (§3.2).
+
+:func:`persistence_sweep` re-runs the persistence stage for a whole range
+of window sizes ``j`` over one month of snapshots (the Fig 6 study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..net.ip2as import Ip2AsMapper
+from ..traces import Trace
+from .classification import ClassificationResult, classify
+from .extraction import extract_all, traces_with_tunnels
+from .filters import FilterStats, run_filters
+from .model import Iotp, IotpKey, LspSignature
+
+
+@dataclass
+class DatasetStats:
+    """Raw per-cycle dataset statistics, before any filtering (Fig 5)."""
+
+    trace_count: int = 0
+    traces_with_tunnels: int = 0
+    mpls_addresses: int = 0
+    non_mpls_addresses: int = 0
+    mpls_by_as: Dict[int, int] = field(default_factory=dict)
+    non_mpls_by_as: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def tunnel_trace_share(self) -> float:
+        """Proportion of traces crossing >= 1 explicit tunnel (Fig 5a)."""
+        if self.trace_count == 0:
+            return 0.0
+        return self.traces_with_tunnels / self.trace_count
+
+
+def dataset_stats(traces: Sequence[Trace],
+                  ip2as: Ip2AsMapper) -> DatasetStats:
+    """Compute the Fig 5 / Table 2 raw statistics for one snapshot.
+
+    An address counts as "used in MPLS" when it ever appears as a
+    label-quoting hop; every other responding address is non-MPLS.
+    """
+    mpls: Set[int] = set()
+    every: Set[int] = set()
+    for trace in traces:
+        for hop in trace.hops:
+            if hop.address is None:
+                continue
+            every.add(hop.address)
+            if hop.has_labels:
+                mpls.add(hop.address)
+    non_mpls = every - mpls
+
+    def by_as(addresses: Set[int]) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for address in addresses:
+            asn = ip2as.lookup_single(address)
+            counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    return DatasetStats(
+        trace_count=len(traces),
+        traces_with_tunnels=traces_with_tunnels(traces),
+        mpls_addresses=len(mpls),
+        non_mpls_addresses=len(non_mpls),
+        mpls_by_as=by_as(mpls),
+        non_mpls_by_as=by_as(non_mpls),
+    )
+
+
+@dataclass
+class CycleResult:
+    """Everything LPR produces for one measurement cycle."""
+
+    cycle: int
+    stats: DatasetStats
+    filter_stats: FilterStats
+    iotps: Dict[IotpKey, Iotp]
+    classification: ClassificationResult
+
+    def for_as(self, asn: int) -> ClassificationResult:
+        """Classification restricted to one AS."""
+        return self.classification.for_as(asn)
+
+
+class LprPipeline:
+    """The complete Label Pattern Recognition pipeline."""
+
+    def __init__(self, ip2as: Ip2AsMapper, persistence_window: int = 2,
+                 reinject_threshold: float = 0.10,
+                 php_heuristic: bool = False):
+        """``persistence_window`` is the paper's ``j`` (default 2)."""
+        if persistence_window < 0:
+            raise ValueError(f"negative persistence window: "
+                             f"{persistence_window}")
+        self.ip2as = ip2as
+        self.persistence_window = persistence_window
+        self.reinject_threshold = reinject_threshold
+        self.php_heuristic = php_heuristic
+
+    def follow_up_signatures(
+        self, snapshots: Sequence[Sequence[Trace]]
+    ) -> List[Set[LspSignature]]:
+        """Complete-LSP signature sets of the X+1..X+j snapshots."""
+        window = snapshots[1:1 + self.persistence_window]
+        return [
+            {lsp.signature for lsp in extract_all(snapshot)
+             if lsp.complete}
+            for snapshot in window
+        ]
+
+    def process_snapshots(self, cycle: int,
+                          snapshots: Sequence[Sequence[Trace]]
+                          ) -> CycleResult:
+        """Run LPR on a cycle given as [primary, follow-up...] traces."""
+        if not snapshots:
+            raise ValueError("need at least the primary snapshot")
+        primary = snapshots[0]
+        lsps = extract_all(primary)
+        iotps, filter_stats = run_filters(
+            lsps, self.ip2as,
+            follow_up_signatures=self.follow_up_signatures(snapshots),
+            reinject_threshold=self.reinject_threshold,
+        )
+        return CycleResult(
+            cycle=cycle,
+            stats=dataset_stats(primary, self.ip2as),
+            filter_stats=filter_stats,
+            iotps=iotps,
+            classification=classify(iotps, self.php_heuristic),
+        )
+
+    def process_cycle(self, cycle_data) -> CycleResult:
+        """Run LPR on an :class:`repro.sim.ark.CycleData`."""
+        return self.process_snapshots(cycle_data.cycle,
+                                      cycle_data.snapshots)
+
+    def process_run(self, run: Iterable) -> List[CycleResult]:
+        """Run LPR over an iterable of cycle datasets."""
+        return [self.process_cycle(cycle_data) for cycle_data in run]
+
+
+@dataclass
+class PersistencePoint:
+    """One point of the Fig 6 sweep: the effect of window size j."""
+
+    window: int
+    kept_lsps: int
+    classification: ClassificationResult
+
+
+def persistence_sweep(snapshots: Sequence[Sequence[Trace]],
+                      ip2as: Ip2AsMapper,
+                      windows: Iterable[int],
+                      reinject_threshold: float = 0.10
+                      ) -> List[PersistencePoint]:
+    """Vary the persistence window over one month of snapshots (Fig 6).
+
+    ``snapshots[0]`` is the cycle under study; ``snapshots[1:]`` are the
+    follow-up runs.  ``windows`` lists the j values to evaluate (0 = no
+    persistence filtering).
+    """
+    points = []
+    for window in windows:
+        pipeline = LprPipeline(ip2as, persistence_window=window,
+                               reinject_threshold=reinject_threshold)
+        result = pipeline.process_snapshots(0, snapshots)
+        points.append(PersistencePoint(
+            window=window,
+            kept_lsps=result.filter_stats.after_persistence,
+            classification=result.classification,
+        ))
+    return points

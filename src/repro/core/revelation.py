@@ -1,0 +1,153 @@
+"""The tunnel-revelation taxonomy (paper §2.3 background).
+
+The paper builds on the classification of how an MPLS tunnel shows up in
+traceroute, set by ``ttl-propagate`` and RFC 4950 (Donnet et al., CCR
+2012):
+
+=============  ============  =========  =================================
+visibility     ttl-propagate RFC 4950   evidence in the trace
+=============  ============  =========  =================================
+**explicit**   yes           yes        per-LSR hops quoting LSEs, TTL 1
+**implicit**   yes           no         per-LSR hops without labels, but
+                                        the quoted IP-TTL (qTTL) climbs
+                                        2, 3, 4... along the tunnel
+**opaque**     no            yes        one hop quoting an LSE whose TTL
+                                        is near 255; the deficit from
+                                        255 is the hidden tunnel length
+**invisible**  no            no         nothing at all
+=============  ============  =========  =================================
+
+This module detects all three visible kinds from a trace and produces
+the per-dataset census that motivates the paper's restriction to
+explicit tunnels (the only kind whose *labels* LPR can compare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..traces import Trace, TraceHop
+from .extraction import MAX_EXPLICIT_LSE_TTL, is_explicit_hop
+
+
+class TunnelVisibility(Enum):
+    """How a tunnel manifests in traceroute output."""
+
+    EXPLICIT = "explicit"
+    IMPLICIT = "implicit"
+    OPAQUE = "opaque"
+
+
+@dataclass(frozen=True)
+class RevealedTunnel:
+    """One tunnel detected in a trace.
+
+    Attributes:
+        visibility: explicit / implicit / opaque.
+        start_index: index of the first evidence hop within the trace.
+        hop_count: number of evidence hops (1 for opaque).
+        inferred_length: LSR count — observed for explicit/implicit,
+            derived from the LSE-TTL deficit for opaque tunnels.
+    """
+
+    visibility: TunnelVisibility
+    start_index: int
+    hop_count: int
+    inferred_length: int
+
+
+def _is_implicit_hop(hop: TraceHop) -> bool:
+    """A responding, label-less hop whose quoted IP-TTL exceeds 1."""
+    return (not hop.is_anonymous and not hop.has_labels
+            and hop.quoted_ttl >= 2)
+
+
+def _is_opaque_hop(hop: TraceHop) -> bool:
+    """A labeled hop whose LSE-TTL was never propagated into."""
+    return (hop.has_labels
+            and hop.quoted_stack[0].ttl > MAX_EXPLICIT_LSE_TTL)
+
+
+def reveal_tunnels(trace: Trace) -> List[RevealedTunnel]:
+    """Detect every visible tunnel in one trace.
+
+    Explicit runs are maximal sequences of label-quoting TTL-1 hops;
+    implicit runs are maximal sequences of qTTL >= 2 hops whose quoted
+    TTLs increase hop by hop (the propagation signature); opaque tunnels
+    are single high-LSE-TTL hops.
+    """
+    tunnels: List[RevealedTunnel] = []
+    hops = trace.hops
+    index = 0
+    while index < len(hops):
+        hop = hops[index]
+        if is_explicit_hop(hop):
+            end = index
+            while end + 1 < len(hops) and is_explicit_hop(hops[end + 1]):
+                end += 1
+            count = end - index + 1
+            tunnels.append(RevealedTunnel(
+                visibility=TunnelVisibility.EXPLICIT,
+                start_index=index, hop_count=count,
+                inferred_length=count,
+            ))
+            index = end + 1
+        elif _is_opaque_hop(hop):
+            hidden = 255 - hop.quoted_stack[0].ttl + 1
+            tunnels.append(RevealedTunnel(
+                visibility=TunnelVisibility.OPAQUE,
+                start_index=index, hop_count=1,
+                inferred_length=max(1, hidden),
+            ))
+            index += 1
+        elif _is_implicit_hop(hop):
+            end = index
+            while (end + 1 < len(hops)
+                   and _is_implicit_hop(hops[end + 1])
+                   and hops[end + 1].quoted_ttl
+                   == hops[end].quoted_ttl + 1):
+                end += 1
+            count = end - index + 1
+            tunnels.append(RevealedTunnel(
+                visibility=TunnelVisibility.IMPLICIT,
+                start_index=index, hop_count=count,
+                inferred_length=count,
+            ))
+            index = end + 1
+        else:
+            index += 1
+    return tunnels
+
+
+@dataclass
+class VisibilityCensus:
+    """Dataset-level tally of tunnel visibility kinds."""
+
+    tunnels: Dict[TunnelVisibility, int] = field(default_factory=dict)
+    traces_with: Dict[TunnelVisibility, int] = field(default_factory=dict)
+    trace_count: int = 0
+
+    def share_of_traces(self, visibility: TunnelVisibility) -> float:
+        """Share of traces containing at least one such tunnel."""
+        if self.trace_count == 0:
+            return 0.0
+        return self.traces_with.get(visibility, 0) / self.trace_count
+
+
+def visibility_census(traces: Iterable[Trace]) -> VisibilityCensus:
+    """Tally every visible tunnel kind across a dataset."""
+    census = VisibilityCensus(
+        tunnels={visibility: 0 for visibility in TunnelVisibility},
+        traces_with={visibility: 0 for visibility in TunnelVisibility},
+    )
+    for trace in traces:
+        census.trace_count += 1
+        seen = set()
+        for tunnel in reveal_tunnels(trace):
+            census.tunnels[tunnel.visibility] += 1
+            seen.add(tunnel.visibility)
+        for visibility in seen:
+            census.traces_with[visibility] += 1
+    return census

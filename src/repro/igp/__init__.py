@@ -1,0 +1,19 @@
+"""IGP substrate: topology model, ECMP-aware SPF, flow hashing."""
+
+from .topology import Link, Router, Topology, TopologyError
+from .spf import SpfResult, SpfTable, spf_to
+from .ecmp import FlowKey, branch_distribution, flow_hash, select_next_hop
+
+__all__ = [
+    "Link",
+    "Router",
+    "Topology",
+    "TopologyError",
+    "SpfResult",
+    "SpfTable",
+    "spf_to",
+    "FlowKey",
+    "branch_distribution",
+    "flow_hash",
+    "select_next_hop",
+]

@@ -1,0 +1,145 @@
+"""Shortest-path-first computation with equal-cost multipath support.
+
+The IGP (IS-IS/OSPF in real networks) computes, for every destination
+router, the DAG of all equal-cost shortest paths.  ECMP forwarding then
+picks one outgoing link per flow among the DAG successors (see
+:mod:`repro.igp.ecmp`).  LDP builds its LSPs exactly along this DAG, which
+is why LDP tunnels inherit the IGP's path diversity (paper §2.2.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from .topology import Link, Topology
+
+# A successor choice: (next-hop router id, link used to reach it).
+NextHop = Tuple[int, Link]
+
+INFINITY = float("inf")
+
+
+class SpfResult:
+    """All-pairs-to-one shortest-path DAG rooted at a destination router.
+
+    ``distance[r]`` is the IGP cost from router ``r`` to the destination;
+    ``successors[r]`` lists every (next-hop, link) on an equal-cost
+    shortest path.  Parallel links of equal cost both appear, giving
+    link-level ECMP.
+    """
+
+    __slots__ = ("destination", "distance", "successors")
+
+    def __init__(self, destination: int, distance: Dict[int, float],
+                 successors: Dict[int, List[NextHop]]):
+        self.destination = destination
+        self.distance = distance
+        self.successors = successors
+
+    def reachable(self, router_id: int) -> bool:
+        """True if the router has a path to the destination."""
+        return self.distance.get(router_id, INFINITY) < INFINITY
+
+    def next_hops(self, router_id: int) -> List[NextHop]:
+        """Equal-cost successor choices at a router (empty at the root)."""
+        return self.successors.get(router_id, [])
+
+    def path_count(self, source: int, _memo: Optional[Dict[int, int]] = None
+                   ) -> int:
+        """Number of distinct equal-cost paths from ``source`` to the root.
+
+        Counts link-level diversity (parallel links multiply the count).
+        """
+        if _memo is None:
+            _memo = {self.destination: 1}
+        if source in _memo:
+            return _memo[source]
+        if not self.reachable(source):
+            _memo[source] = 0
+            return 0
+        total = sum(
+            self.path_count(nbr, _memo) for nbr, _ in self.successors[source]
+        )
+        _memo[source] = total
+        return total
+
+    def all_paths(self, source: int, limit: int = 1000
+                  ) -> List[List[NextHop]]:
+        """Enumerate equal-cost paths as lists of (router, link) steps.
+
+        Each returned path is the sequence of hops *taken*: element i is
+        (router entered, link used to enter it).  Enumeration is cut off at
+        ``limit`` paths to bound work on very wide DAGs.
+        """
+        paths: List[List[NextHop]] = []
+        stack: List[Tuple[int, List[NextHop]]] = [(source, [])]
+        while stack and len(paths) < limit:
+            router, taken = stack.pop()
+            if router == self.destination:
+                paths.append(taken)
+                continue
+            for nbr, link in reversed(self.successors.get(router, [])):
+                stack.append((nbr, taken + [(nbr, link)]))
+        return paths
+
+
+def spf_to(topology: Topology, destination: int,
+           excluded_links: Optional[frozenset] = None) -> SpfResult:
+    """Dijkstra from every router *to* ``destination`` (reverse SPF).
+
+    Because links are symmetric in cost, a single Dijkstra rooted at the
+    destination yields, for every source, the full set of ECMP successors.
+    ``excluded_links`` (link ids) models failed links: they are skipped,
+    as if the IGP had withdrawn them.
+    """
+    if destination not in topology.routers:
+        raise KeyError(f"unknown destination router {destination}")
+
+    distance: Dict[int, float] = {destination: 0.0}
+    successors: Dict[int, List[NextHop]] = {}
+    visited: Dict[int, bool] = {}
+    heap: List[Tuple[float, int]] = [(0.0, destination)]
+
+    while heap:
+        dist, router = heapq.heappop(heap)
+        if visited.get(router):
+            continue
+        visited[router] = True
+        for neighbor, link in topology.neighbors(router):
+            if excluded_links and link.link_id in excluded_links:
+                continue
+            candidate = dist + link.cost
+            known = distance.get(neighbor, INFINITY)
+            if candidate < known:
+                distance[neighbor] = candidate
+                successors[neighbor] = [(router, link)]
+                heapq.heappush(heap, (candidate, neighbor))
+            elif candidate == known:
+                # Another equal-cost successor (possibly a parallel link).
+                successors[neighbor].append((router, link))
+
+    # Deterministic successor order: by (neighbor id, link id).
+    for choices in successors.values():
+        choices.sort(key=lambda nh: (nh[0], nh[1].link_id))
+    return SpfResult(destination, distance, successors)
+
+
+class SpfTable:
+    """Cache of per-destination SPF results for one topology."""
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._cache: Dict[int, SpfResult] = {}
+
+    def to_destination(self, destination: int) -> SpfResult:
+        """Return (computing and caching if needed) the DAG to a router."""
+        result = self._cache.get(destination)
+        if result is None:
+            result = spf_to(self._topology, destination)
+            self._cache[destination] = result
+        return result
+
+    def invalidate(self) -> None:
+        """Drop cached results (call after topology changes)."""
+        self._cache.clear()

@@ -1,0 +1,208 @@
+"""Label allocation and the Label Forwarding Information Base.
+
+One :class:`LabelAllocator` exists per router.  It hands out labels
+sequentially from the router's vendor-specific dynamic range and wraps
+around when the range is exhausted — the behaviour the paper observes in
+Fig 17 ("when a label reaches its maximum, it starts again from the
+minimum").  Sequential allocation also means that a busier LSR (more LSPs
+signalled through it) advances its counter faster, reproducing the paper's
+observation that LSR2's sawtooth evolves faster than LSR1's.
+
+The :class:`Lfib` stores, per router, the mapping from an incoming label to
+its forwarding actions, plus the ingress FTN (FEC-to-NHLFE) map from FEC to
+label bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .vendor import VendorProfile, get_profile
+
+# Special binding value meaning "pop the stack before forwarding to me"
+# (implicit null, RFC 3032 label 3): the PHP signal.
+IMPLICIT_NULL_BINDING = -3
+
+
+class LabelAllocatorError(RuntimeError):
+    """Raised when a router's label space is exhausted mid-rotation."""
+
+
+class LabelAllocator:
+    """Sequential per-router label allocator with wrap-around.
+
+    Labels currently in use are never handed out twice; freed labels
+    become available again after the counter wraps past them.
+    """
+
+    def __init__(self, profile: VendorProfile, start_offset: int = 0):
+        """``start_offset`` shifts the first handed-out label.
+
+        Real routers have years of allocation history behind them, so the
+        counters of two distinct LSRs are effectively desynchronized.  The
+        offset models that: it makes cross-router label collisions as
+        unlikely as in the wild, which the paper's Parallel-Links
+        inference (same label on distinct IPs => alias) depends on.
+        """
+        self.profile = profile
+        self._next = profile.label_min + start_offset % profile.label_space()
+        self._in_use: set = set()
+        self.allocated_total = 0
+
+    def allocate(self) -> int:
+        """Return a fresh label from the dynamic range."""
+        space = self.profile.label_space()
+        if len(self._in_use) >= space:
+            raise LabelAllocatorError(
+                f"label space exhausted ({space} labels in use)"
+            )
+        label = self._next
+        for _ in range(space):
+            if label > self.profile.label_max:
+                label = self.profile.label_min
+            if label not in self._in_use:
+                break
+            label += 1
+        self._in_use.add(label)
+        self._next = label + 1
+        if self._next > self.profile.label_max:
+            self._next = self.profile.label_min
+        self.allocated_total += 1
+        return label
+
+    def release(self, label: int) -> None:
+        """Return a label to the pool (tunnel teardown)."""
+        self._in_use.discard(label)
+
+    @property
+    def in_use(self) -> int:
+        """Number of labels currently allocated."""
+        return len(self._in_use)
+
+
+def _router_offset(router_id: int) -> int:
+    """Deterministic allocator start offset for a router.
+
+    A splitmix-style mix of the router id; spreads starting labels across
+    the vendor range so that distinct routers rarely propose equal labels.
+    """
+    value = (router_id + 0x9E3779B9) & 0xFFFFFFFF
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    value = (value ^ (value >> 16)) * 0x45D9F3B & 0xFFFFFFFF
+    return value ^ (value >> 16)
+
+
+class LfibAction(Enum):
+    """What a router does to the top label of a matching packet."""
+
+    SWAP = "swap"
+    POP = "pop"          # PHP: remove the stack, forward as plain IP
+    DELIVER = "deliver"  # egress: pop and process locally / IP-forward
+
+
+@dataclass(frozen=True)
+class LfibEntry:
+    """One forwarding choice for an incoming label.
+
+    Attributes:
+        action: swap/pop/deliver.
+        out_label: label to swap in (None for POP/DELIVER).
+        next_hop: next-hop router id (None for DELIVER).
+        link_id: link used to reach the next hop (None for DELIVER).
+    """
+
+    action: LfibAction
+    out_label: Optional[int] = None
+    next_hop: Optional[int] = None
+    link_id: Optional[int] = None
+
+
+class Lfib:
+    """Per-router label forwarding table with ECMP-capable entries.
+
+    ``entries[in_label]`` is the list of equal-cost forwarding choices for
+    that label; the data plane picks one with the flow hash, mirroring how
+    LDP LSPs inherit IGP ECMP.
+    """
+
+    def __init__(self, router_id: int):
+        self.router_id = router_id
+        self.entries: Dict[int, List[LfibEntry]] = {}
+        self._label_of_fec: Dict[Hashable, int] = {}
+
+    def bind(self, fec: Hashable, label: int) -> None:
+        """Record the local label this router allocated for a FEC."""
+        self._label_of_fec[fec] = label
+        self.entries.setdefault(label, [])
+
+    def label_for(self, fec: Hashable) -> Optional[int]:
+        """The local label bound to a FEC, or None if unbound."""
+        return self._label_of_fec.get(fec)
+
+    def unbind(self, fec: Hashable) -> Optional[int]:
+        """Forget a FEC binding; returns the label it used, if any."""
+        label = self._label_of_fec.pop(fec, None)
+        if label is not None:
+            self.entries.pop(label, None)
+        return label
+
+    def add_entry(self, in_label: int, entry: LfibEntry) -> None:
+        """Append one forwarding choice for an incoming label."""
+        self.entries.setdefault(in_label, []).append(entry)
+
+    def choices(self, in_label: int) -> List[LfibEntry]:
+        """All equal-cost choices for an incoming label (may be empty)."""
+        return self.entries.get(in_label, [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class LabelManager:
+    """Owns the allocator and LFIB of every router in one AS."""
+
+    def __init__(self, vendor_of: Dict[int, str], desynchronize: bool = True):
+        """``vendor_of`` maps router id -> vendor profile name.
+
+        With ``desynchronize`` (the default) each router's allocator starts
+        at a deterministic per-router offset, modelling independent
+        allocation histories; disable it only in tests that assert exact
+        label values.
+        """
+        self.allocators: Dict[int, LabelAllocator] = {
+            router_id: LabelAllocator(
+                get_profile(vendor),
+                start_offset=(_router_offset(router_id)
+                              if desynchronize else 0),
+            )
+            for router_id, vendor in vendor_of.items()
+        }
+        self.lfibs: Dict[int, Lfib] = {
+            router_id: Lfib(router_id) for router_id in vendor_of
+        }
+
+    def allocator(self, router_id: int) -> LabelAllocator:
+        """The label allocator of one router."""
+        return self.allocators[router_id]
+
+    def lfib(self, router_id: int) -> Lfib:
+        """The LFIB of one router."""
+        return self.lfibs[router_id]
+
+    def allocate_for(self, router_id: int, fec: Hashable) -> int:
+        """Allocate a label at a router and bind it to a FEC."""
+        lfib = self.lfibs[router_id]
+        existing = lfib.label_for(fec)
+        if existing is not None:
+            return existing
+        label = self.allocators[router_id].allocate()
+        lfib.bind(fec, label)
+        return label
+
+    def release_for(self, router_id: int, fec: Hashable) -> None:
+        """Unbind a FEC at a router and return its label to the pool."""
+        label = self.lfibs[router_id].unbind(fec)
+        if label is not None:
+            self.allocators[router_id].release(label)

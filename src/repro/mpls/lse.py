@@ -1,0 +1,227 @@
+"""MPLS label stack entry (LSE) wire format — RFC 3032.
+
+An LSE is the 32-bit word the paper's Figure 1 depicts::
+
+     0                   19 20  22 23 24        31
+    +----------------------+------+--+-----------+
+    |        Label         |  TC  |S |  LSE-TTL  |
+    +----------------------+------+--+-----------+
+
+The simulator pushes/swaps/pops these on packets, and the traceroute engine
+quotes them in ICMP time-exceeded messages per RFC 4950, exactly as real
+routers do.  LPR then reads them back.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+MAX_LABEL = (1 << 20) - 1
+MAX_TC = (1 << 3) - 1
+MAX_TTL = (1 << 8) - 1
+
+# Reserved label values (RFC 3032 §2.1).
+IPV4_EXPLICIT_NULL = 0
+ROUTER_ALERT = 1
+IPV6_EXPLICIT_NULL = 2
+IMPLICIT_NULL = 3
+RESERVED_LABEL_MAX = 15
+
+
+class LabelError(ValueError):
+    """Raised when an LSE field is out of range or a stack is malformed."""
+
+
+class LabelStackEntry:
+    """One 32-bit MPLS label stack entry."""
+
+    __slots__ = ("label", "tc", "bottom", "ttl")
+
+    def __init__(self, label: int, tc: int = 0, bottom: bool = False,
+                 ttl: int = 255):
+        if not 0 <= label <= MAX_LABEL:
+            raise LabelError(f"label out of range: {label}")
+        if not 0 <= tc <= MAX_TC:
+            raise LabelError(f"traffic class out of range: {tc}")
+        if not 0 <= ttl <= MAX_TTL:
+            raise LabelError(f"LSE-TTL out of range: {ttl}")
+        self.label = label
+        self.tc = tc
+        self.bottom = bottom
+        self.ttl = ttl
+
+    def encode(self) -> int:
+        """Pack the entry into its 32-bit wire representation."""
+        return (
+            (self.label << 12)
+            | (self.tc << 9)
+            | (int(self.bottom) << 8)
+            | self.ttl
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "LabelStackEntry":
+        """Unpack a 32-bit wire word into an entry."""
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise LabelError(f"LSE word out of range: {word}")
+        return cls(
+            label=(word >> 12) & MAX_LABEL,
+            tc=(word >> 9) & MAX_TC,
+            bottom=bool((word >> 8) & 1),
+            ttl=word & MAX_TTL,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Network-byte-order serialization (what RFC 4950 quotes)."""
+        return struct.pack("!I", self.encode())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LabelStackEntry":
+        """Parse a network-byte-order 4-byte LSE."""
+        if len(data) != 4:
+            raise LabelError(f"LSE must be 4 bytes, got {len(data)}")
+        return cls.decode(struct.unpack("!I", data)[0])
+
+    @property
+    def is_reserved(self) -> bool:
+        """True for reserved label values 0–15 (RFC 3032)."""
+        return self.label <= RESERVED_LABEL_MAX
+
+    def replace(self, **changes) -> "LabelStackEntry":
+        """Return a copy with the given fields replaced."""
+        fields = {
+            "label": self.label,
+            "tc": self.tc,
+            "bottom": self.bottom,
+            "ttl": self.ttl,
+        }
+        fields.update(changes)
+        return LabelStackEntry(**fields)
+
+    def _key(self) -> Tuple[int, int, bool, int]:
+        return (self.label, self.tc, self.bottom, self.ttl)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelStackEntry):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelStackEntry(label={self.label}, tc={self.tc}, "
+            f"bottom={self.bottom}, ttl={self.ttl})"
+        )
+
+
+class LabelStack:
+    """A stack of LSEs, top first, with push/swap/pop semantics.
+
+    The stack enforces the bottom-of-stack invariant: exactly the last
+    entry has its S bit set.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Sequence[LabelStackEntry] = ()):
+        self._entries: List[LabelStackEntry] = list(entries)
+        self._fix_bottom_bits()
+
+    def _fix_bottom_bits(self) -> None:
+        for index, entry in enumerate(self._entries):
+            is_last = index == len(self._entries) - 1
+            if entry.bottom != is_last:
+                self._entries[index] = entry.replace(bottom=is_last)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[LabelStackEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> LabelStackEntry:
+        return self._entries[index]
+
+    @property
+    def top(self) -> LabelStackEntry:
+        """The outermost entry (the one routers act on)."""
+        if not self._entries:
+            raise LabelError("label stack is empty")
+        return self._entries[0]
+
+    def push(self, entry: LabelStackEntry) -> None:
+        """Push a new outermost entry."""
+        self._entries.insert(0, entry)
+        self._fix_bottom_bits()
+
+    def pop(self) -> LabelStackEntry:
+        """Remove and return the outermost entry."""
+        if not self._entries:
+            raise LabelError("pop from empty label stack")
+        entry = self._entries.pop(0)
+        self._fix_bottom_bits()
+        return entry
+
+    def swap(self, label: int) -> None:
+        """Replace the outermost label value, keeping TC/TTL."""
+        if not self._entries:
+            raise LabelError("swap on empty label stack")
+        self._entries[0] = self._entries[0].replace(label=label)
+
+    def decrement_ttl(self) -> int:
+        """Decrement the top LSE-TTL and return the new value."""
+        top = self.top
+        if top.ttl == 0:
+            raise LabelError("TTL already zero")
+        new = top.replace(ttl=top.ttl - 1)
+        self._entries[0] = new
+        return new.ttl
+
+    def labels(self) -> Tuple[int, ...]:
+        """The label values, top first."""
+        return tuple(entry.label for entry in self._entries)
+
+    def copy(self) -> "LabelStack":
+        """An independent copy of the stack."""
+        return LabelStack(list(self._entries))
+
+    def to_bytes(self) -> bytes:
+        """Concatenated wire form, top entry first."""
+        return b"".join(entry.to_bytes() for entry in self._entries)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LabelStack":
+        """Parse concatenated 4-byte LSEs; validates the S bit."""
+        if len(data) % 4:
+            raise LabelError(f"stack length not a multiple of 4: {len(data)}")
+        entries = [
+            LabelStackEntry.from_bytes(data[offset:offset + 4])
+            for offset in range(0, len(data), 4)
+        ]
+        for index, entry in enumerate(entries):
+            expected = index == len(entries) - 1
+            if entry.bottom != expected:
+                raise LabelError(
+                    f"bottom-of-stack bit wrong at entry {index}"
+                )
+        return cls(entries)
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[int], ttl: int = 255
+                    ) -> "LabelStack":
+        """Build a stack from bare label values, top first."""
+        return cls([LabelStackEntry(label, ttl=ttl) for label in labels])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelStack):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"LabelStack(labels={list(self.labels())})"

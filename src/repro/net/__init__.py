@@ -1,0 +1,27 @@
+"""Addressing substrate: IPv4 arithmetic, radix trie, IP-to-AS mapping."""
+
+from .ip import (
+    AddressError,
+    MAX_IPV4,
+    Prefix,
+    int_to_ip,
+    ip_to_int,
+    netmask,
+    summarize_range,
+)
+from .radix import RadixTrie, trie_from_pairs
+from .ip2as import Ip2AsMapper, UNKNOWN_AS
+
+__all__ = [
+    "AddressError",
+    "MAX_IPV4",
+    "Prefix",
+    "int_to_ip",
+    "ip_to_int",
+    "netmask",
+    "summarize_range",
+    "RadixTrie",
+    "trie_from_pairs",
+    "Ip2AsMapper",
+    "UNKNOWN_AS",
+]

@@ -1,0 +1,191 @@
+"""IPv4 address and prefix arithmetic.
+
+Addresses are represented as plain ``int`` values in the hot paths of the
+simulator and of LPR (millions of hops per cycle).  This module provides the
+conversions and the :class:`Prefix` value type used by the routing and
+IP-to-AS layers.
+
+The standard library ``ipaddress`` module is deliberately not used here: it
+allocates an object per address, which is far too costly when a single
+measurement cycle manipulates millions of interface addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+MAX_IPV4 = 0xFFFFFFFF
+
+
+class AddressError(ValueError):
+    """Raised when an address or prefix literal cannot be parsed."""
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad notation into an integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer as dotted-quad notation.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise AddressError(f"address out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def netmask(length: int) -> int:
+    """Return the integer netmask for a prefix length.
+
+    >>> hex(netmask(24))
+    '0xffffff00'
+    """
+    if not 0 <= length <= 32:
+        raise AddressError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (MAX_IPV4 << (32 - length)) & MAX_IPV4
+
+
+class Prefix:
+    """An IPv4 prefix (network address + length).
+
+    Instances are immutable, hashable, and ordered by (network, length) so
+    that sorted lists of prefixes are grouped by address space.
+    """
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, network: int, length: int):
+        mask = netmask(length)
+        if network & ~mask & MAX_IPV4:
+            raise AddressError(
+                f"host bits set in prefix {int_to_ip(network)}/{length}"
+            )
+        self.network = network
+        self.length = length
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> Prefix.parse("192.0.2.0/24")
+        Prefix('192.0.2.0/24')
+        """
+        if "/" not in text:
+            raise AddressError(f"missing length in prefix {text!r}")
+        addr, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise AddressError(f"bad length in prefix {text!r}")
+        return cls(ip_to_int(addr), int(length_text))
+
+    @classmethod
+    def from_host(cls, address: int, length: int) -> "Prefix":
+        """Build the prefix of ``length`` bits that contains ``address``."""
+        return cls(address & netmask(length), length)
+
+    def __contains__(self, address: int) -> bool:
+        return (address & netmask(self.length)) == self.network
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return (
+            other.length >= self.length
+            and (other.network & netmask(self.length)) == self.network
+        )
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Highest address in the prefix (the broadcast address)."""
+        return self.network | (~netmask(self.length) & MAX_IPV4)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate over usable host addresses.
+
+        For /31 and /32 all addresses are usable (RFC 3021 semantics);
+        otherwise network and broadcast addresses are skipped.
+        """
+        if self.length >= 31:
+            yield from range(self.first, self.last + 1)
+        else:
+            yield from range(self.first + 1, self.last)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate over the subdivisions of this prefix at ``new_length``."""
+        if new_length < self.length:
+            raise AddressError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for network in range(self.first, self.last + 1, step):
+            yield Prefix(network, new_length)
+
+    def _key(self) -> Tuple[int, int]:
+        return (self.network, self.length)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return self._key() < other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+
+def summarize_range(start: int, end: int) -> List[Prefix]:
+    """Cover the inclusive address range [start, end] with minimal prefixes.
+
+    >>> [str(p) for p in summarize_range(ip_to_int("10.0.0.0"),
+    ...                                   ip_to_int("10.0.0.7"))]
+    ['10.0.0.0/29']
+    """
+    if start > end:
+        raise AddressError("empty range")
+    prefixes = []
+    while start <= end:
+        # The largest aligned block starting at `start` that fits the range.
+        max_align = (start & -start).bit_length() - 1 if start else 32
+        max_fit = (end - start + 1).bit_length() - 1
+        bits = min(max_align, max_fit)
+        prefixes.append(Prefix(start, 32 - bits))
+        start += 1 << bits
+    return prefixes

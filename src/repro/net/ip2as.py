@@ -1,0 +1,133 @@
+"""IP-to-AS mapping in the style of Routeviews prefix-to-origin tables.
+
+The paper maps every traceroute hop to an AS using a Routeviews table
+collected the same day as the measurement cycle.  This module provides the
+same interface: a table of ``(prefix, origin AS)`` entries answering
+longest-prefix-match queries, plus a tiny text codec compatible with the
+classic ``pfx2as`` three-column format (dotted prefix, length, ASN).
+
+Multi-origin prefixes (MOAS) are preserved: a lookup may return a tuple of
+ASNs, and :meth:`Ip2AsMapper.lookup_single` applies the common convention of
+keeping the first (lowest) origin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, TextIO, Tuple, Union
+
+from .ip import Prefix, ip_to_int
+from .radix import RadixTrie
+
+Origin = Union[int, Tuple[int, ...]]
+
+UNKNOWN_AS = -1
+
+
+class Ip2AsMapper:
+    """Longest-prefix-match mapping from IPv4 address to origin AS."""
+
+    def __init__(self):
+        self._trie = RadixTrie()
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def add(self, prefix: Prefix, origin: Origin) -> None:
+        """Register an origin (ASN or tuple of ASNs) for a prefix.
+
+        Adding a second distinct origin for the same prefix turns the entry
+        into a MOAS tuple.
+        """
+        existing = self._trie.lookup_exact(prefix)
+        if existing is None:
+            self._trie.insert(prefix, origin)
+            return
+        merged = _merge_origins(existing, origin)
+        self._trie.insert(prefix, merged)
+
+    def lookup(self, address: int) -> Optional[Origin]:
+        """Return the origin for an address, or None if unrouted."""
+        return self._trie.lookup(address)
+
+    def lookup_single(self, address: int) -> int:
+        """Return a single ASN for an address.
+
+        MOAS entries resolve to their lowest ASN; unrouted addresses map to
+        :data:`UNKNOWN_AS` so that callers can use the result as a dict key
+        without None checks.
+        """
+        origin = self._trie.lookup(address)
+        if origin is None:
+            return UNKNOWN_AS
+        if isinstance(origin, tuple):
+            return min(origin)
+        return origin
+
+    def lookup_str(self, address: str) -> Optional[Origin]:
+        """Lookup on a dotted-quad string (convenience)."""
+        return self.lookup(ip_to_int(address))
+
+    def items(self) -> Iterator[Tuple[Prefix, Origin]]:
+        """Iterate over all (prefix, origin) entries."""
+        return self._trie.items()
+
+    # -- pfx2as text codec ------------------------------------------------
+
+    def dump(self, stream: TextIO) -> None:
+        """Write the table in pfx2as format (prefix, length, origin)."""
+        for prefix, origin in sorted(self.items()):
+            origins = (
+                "_".join(str(a) for a in origin)
+                if isinstance(origin, tuple)
+                else str(origin)
+            )
+            from .ip import int_to_ip
+
+            stream.write(
+                f"{int_to_ip(prefix.network)}\t{prefix.length}\t{origins}\n"
+            )
+
+    @classmethod
+    def load(cls, stream: TextIO) -> "Ip2AsMapper":
+        """Parse a pfx2as-format table.
+
+        MOAS origins are encoded with underscores (``65001_65002``), the
+        convention used by CAIDA's prefix-to-AS files.
+        """
+        mapper = cls()
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 3:
+                raise ValueError(
+                    f"line {line_number}: expected 3 fields, got {len(fields)}"
+                )
+            network, length, origins = fields
+            prefix = Prefix(ip_to_int(network), int(length))
+            parsed = tuple(int(asn) for asn in origins.split("_"))
+            mapper.add(prefix, parsed[0] if len(parsed) == 1 else parsed)
+        return mapper
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[Prefix, Origin]]
+    ) -> "Ip2AsMapper":
+        """Build a mapper from an iterable of (prefix, origin) pairs."""
+        mapper = cls()
+        for prefix, origin in pairs:
+            mapper.add(prefix, origin)
+        return mapper
+
+    def __repr__(self) -> str:
+        return f"Ip2AsMapper(entries={len(self)})"
+
+
+def _merge_origins(existing: Origin, new: Origin) -> Origin:
+    existing_set = set(
+        existing if isinstance(existing, tuple) else (existing,)
+    )
+    new_set = set(new if isinstance(new, tuple) else (new,))
+    merged = tuple(sorted(existing_set | new_set))
+    return merged[0] if len(merged) == 1 else merged

@@ -1,0 +1,143 @@
+"""Binary radix (Patricia-style) trie for longest-prefix-match lookups.
+
+This is the data structure behind :class:`repro.net.ip2as.Ip2AsMapper` and
+the simulator's per-router IP forwarding tables.  It stores a value per
+prefix and answers longest-prefix-match queries in at most 32 node visits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .ip import Prefix, int_to_ip
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self):
+        self.children: List[Optional[_Node]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class RadixTrie:
+    """Maps IPv4 prefixes to arbitrary values with longest-prefix-match.
+
+    >>> trie = RadixTrie()
+    >>> trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+    >>> trie.lookup_str("10.1.2.3")
+    'fine'
+    >>> trie.lookup_str("10.2.0.1")
+    'coarse'
+    """
+
+    def __init__(self):
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Insert or replace the value stored for ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the value stored for an exact prefix.
+
+        Returns True if the prefix was present.  Empty branches are left in
+        place (removal is rare; lookups skip value-less nodes anyway).
+        """
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def lookup(self, address: int) -> Optional[Any]:
+        """Return the value of the longest matching prefix, or None."""
+        match = self.lookup_with_prefix(address)
+        return match[1] if match is not None else None
+
+    def lookup_with_prefix(
+        self, address: int
+    ) -> Optional[Tuple[Prefix, Any]]:
+        """Return ``(prefix, value)`` of the longest match, or None."""
+        node = self._root
+        best: Optional[Tuple[int, Any]] = None
+        if node.has_value:
+            best = (0, node.value)
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        return Prefix.from_host(address, length), value
+
+    def lookup_exact(self, prefix: Prefix) -> Optional[Any]:
+        """Return the value stored for exactly ``prefix``, or None."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node.value if node.has_value else None
+
+    def lookup_str(self, address: str) -> Optional[Any]:
+        """Longest-prefix-match on a dotted-quad string (convenience)."""
+        from .ip import ip_to_int
+
+        return self.lookup(ip_to_int(address))
+
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """Iterate over all stored (prefix, value) pairs, sorted by bits."""
+        stack: List[Tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(network, depth), node.value
+            # Push right child first so the left (0) branch pops first.
+            one = node.children[1]
+            if one is not None:
+                stack.append((one, network | (1 << (31 - depth)), depth + 1))
+            zero = node.children[0]
+            if zero is not None:
+                stack.append((zero, network, depth + 1))
+
+    def __repr__(self) -> str:
+        return f"RadixTrie(size={self._size})"
+
+
+def trie_from_pairs(pairs) -> RadixTrie:
+    """Build a trie from an iterable of ``(Prefix, value)`` pairs."""
+    trie = RadixTrie()
+    for prefix, value in pairs:
+        trie.insert(prefix, value)
+    return trie

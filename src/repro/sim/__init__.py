@@ -1,0 +1,66 @@
+"""Network + measurement simulator (the CAIDA/Archipelago substitute)."""
+
+from .config import AsSpec, MplsPolicy, UniverseSpec
+from .network import AsNetwork, Internet, destination_prefix, infra_block
+from .dataplane import DataPlane, HopObs, UnreachableError
+from .monitors import Monitor, build_monitors, split_into_teams
+from .traceroute import TracerouteEngine
+from .scenarios import (
+    ATT,
+    CYCLES,
+    CyclePlan,
+    GTT,
+    LEVEL3,
+    LEVEL3_FALL_CYCLE,
+    LEVEL3_RISE_CYCLE,
+    NTT,
+    Scenario,
+    TATA,
+    TELIA,
+    VODAFONE,
+    build_universe,
+    paper_policies,
+    paper_scenario,
+)
+from .ark import (
+    ArkSimulator,
+    CycleData,
+    daily_campaign,
+    label_dynamics_campaign,
+)
+
+__all__ = [
+    "AsSpec",
+    "MplsPolicy",
+    "UniverseSpec",
+    "AsNetwork",
+    "Internet",
+    "destination_prefix",
+    "infra_block",
+    "DataPlane",
+    "HopObs",
+    "UnreachableError",
+    "Monitor",
+    "build_monitors",
+    "split_into_teams",
+    "TracerouteEngine",
+    "ATT",
+    "CYCLES",
+    "CyclePlan",
+    "GTT",
+    "LEVEL3",
+    "LEVEL3_FALL_CYCLE",
+    "LEVEL3_RISE_CYCLE",
+    "NTT",
+    "Scenario",
+    "TATA",
+    "TELIA",
+    "VODAFONE",
+    "build_universe",
+    "paper_policies",
+    "paper_scenario",
+    "ArkSimulator",
+    "CycleData",
+    "daily_campaign",
+    "label_dynamics_campaign",
+]

@@ -1,0 +1,178 @@
+"""Configuration types for the simulated Internet.
+
+An :class:`AsSpec` describes the static shape of one autonomous system
+(routers, links, vendors, address space); an :class:`MplsPolicy` describes
+its MPLS configuration *at one measurement cycle*.  Scenario scripts
+(:mod:`repro.sim.scenarios`) vary the policy over cycles to reproduce the
+longitudinal behaviours of the paper's focus ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.asgraph import Tier
+
+
+@dataclass(frozen=True)
+class MplsPolicy:
+    """MPLS configuration of one AS at one cycle.
+
+    Attributes:
+        enabled: MPLS switched on at all (otherwise pure IP forwarding).
+        ldp: LDP full mesh between border loopbacks (basic encapsulation,
+            paper §2.2.1).
+        ldp_internal: whether internal destinations also ride LSPs
+            (Cisco's label-everything default; feeds the TargetAS filter).
+        ttl_propagate: ingress copies IP-TTL into the LSE-TTL.  Off makes
+            tunnels invisible to traceroute (not *explicit*).
+        te_pair_fraction: fraction of ordered border pairs carrying
+            RSVP-TE tunnels (0 = pure LDP).
+        te_tunnels_per_pair: how many parallel TE tunnels per such pair.
+        te_reoptimize_per_cycle: head-ends re-signal each cycle, churning
+            labels (the §4.5 dynamic behaviour; triggers LPR's
+            re-injection + dynamic tag).
+        mpls_pair_fraction: fraction of border pairs whose transit
+            traffic actually rides LSPs (partial deployments; scales the
+            number of IOTPs an AS exhibits, the lower halves of the
+            paper's Figs 10–15).
+        sr_pair_fraction: fraction of border pairs steered by SR-MPLS
+            policies (the paper's §2.1 segment-routing outlook); takes
+            precedence over LDP, yields to RSVP-TE.
+        sr_policies_per_pair: how many SR policies per such pair.
+        sr_waypoints: waypoint count per policy (stack depth - 1).
+    """
+
+    enabled: bool = False
+    ldp: bool = True
+    ldp_internal: bool = True
+    ttl_propagate: bool = True
+    te_pair_fraction: float = 0.0
+    te_tunnels_per_pair: int = 0
+    te_reoptimize_per_cycle: bool = False
+    mpls_pair_fraction: float = 1.0
+    sr_pair_fraction: float = 0.0
+    sr_policies_per_pair: int = 0
+    sr_waypoints: int = 1
+
+    def __post_init__(self):
+        for name in ("te_pair_fraction", "mpls_pair_fraction",
+                     "sr_pair_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0,1]: {value}")
+        for name in ("te_tunnels_per_pair", "sr_policies_per_pair",
+                     "sr_waypoints"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name}")
+
+    @property
+    def uses_te(self) -> bool:
+        """True when any RSVP-TE tunnels are configured."""
+        return (self.enabled and self.te_pair_fraction > 0
+                and self.te_tunnels_per_pair > 0)
+
+    @property
+    def uses_sr(self) -> bool:
+        """True when any SR-MPLS policies are configured."""
+        return (self.enabled and self.sr_pair_fraction > 0
+                and self.sr_policies_per_pair > 0)
+
+
+OFF = MplsPolicy(enabled=False)
+
+
+@dataclass(frozen=True)
+class AsSpec:
+    """Static description of one simulated AS.
+
+    Attributes:
+        asn: autonomous system number.
+        name: human-readable name.
+        tier: hierarchy role (tier-1 / transit / stub).
+        router_count: number of routers to generate.
+        border_count: how many of them are eBGP borders.
+        vendor: dominant vendor profile name.
+        ecmp_breadth: structural path diversity knob — roughly the number
+            of equal-cost router-disjoint paths the generated core offers
+            between border pairs (1 = none: chains/trees only).
+        parallel_link_fraction: fraction of core links doubled into
+            parallel bundles (the Parallel-Links ECMP subclass source).
+        unresponsive_fraction: fraction of routers that never answer
+            probes (anonymous hops => incomplete LSPs).
+        prefix_count: /24s this AS originates (traceroute destinations).
+        foreign_address_fraction: fraction of internal link subnets
+            allocated from another org's address block (a real-world
+            addressing quirk; makes some LSPs span two origin ASes and
+            exercises the IntraAS filter).
+    """
+
+    asn: int
+    name: str = ""
+    tier: Tier = Tier.STUB
+    router_count: int = 4
+    border_count: int = 2
+    vendor: str = "cisco"
+    ecmp_breadth: int = 1
+    parallel_link_fraction: float = 0.0
+    unresponsive_fraction: float = 0.0
+    prefix_count: int = 1
+    foreign_address_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.router_count < 1:
+            raise ValueError(f"AS{self.asn}: need at least one router")
+        if not 1 <= self.border_count <= self.router_count:
+            raise ValueError(
+                f"AS{self.asn}: border_count {self.border_count} "
+                f"not in [1, {self.router_count}]"
+            )
+        if self.ecmp_breadth < 1:
+            raise ValueError(f"AS{self.asn}: ecmp_breadth must be >= 1")
+        for name in ("parallel_link_fraction", "unresponsive_fraction",
+                     "foreign_address_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"AS{self.asn}: {name} out of [0,1]")
+
+
+@dataclass
+class UniverseSpec:
+    """The whole simulated Internet plus its measurement apparatus.
+
+    Attributes:
+        ases: all AS specs.
+        c2p_edges: (customer, provider) AS pairs.
+        p2p_edges: peering AS pairs.
+        monitor_ases: ASNs hosting Archipelago-like vantage points.
+        seed: master seed; all randomness derives from it.
+    """
+
+    ases: List[AsSpec] = field(default_factory=list)
+    c2p_edges: List[Tuple[int, int]] = field(default_factory=list)
+    p2p_edges: List[Tuple[int, int]] = field(default_factory=list)
+    monitor_ases: List[int] = field(default_factory=list)
+    seed: int = 0
+
+    def spec_of(self, asn: int) -> AsSpec:
+        """Look up an AS spec by ASN."""
+        for spec in self.ases:
+            if spec.asn == asn:
+                return spec
+        raise KeyError(f"no AS {asn} in universe")
+
+    def validate(self) -> None:
+        """Check cross-references; raises ValueError on dangling ASNs."""
+        known = {spec.asn for spec in self.ases}
+        if len(known) != len(self.ases):
+            raise ValueError("duplicate ASNs in universe")
+        for customer, provider in self.c2p_edges:
+            if customer not in known or provider not in known:
+                raise ValueError(f"dangling c2p edge {customer}->{provider}")
+        for left, right in self.p2p_edges:
+            if left not in known or right not in known:
+                raise ValueError(f"dangling p2p edge {left}--{right}")
+        for asn in self.monitor_ases:
+            if asn not in known:
+                raise ValueError(f"monitor AS {asn} not in universe")

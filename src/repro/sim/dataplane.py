@@ -1,0 +1,348 @@
+"""The forwarding plane: computing the hop-by-hop path of a probe flow.
+
+Given the current network state, :class:`DataPlane` computes the sequence
+of hop observations a Paris-traceroute flow produces: for every traversed
+router, the interface address it would reply from and the MPLS label stack
+the probe carried when its TTL expired there (what RFC 4950 quotes).
+
+Paris semantics make the path a pure function of (flow key, network
+state), so per-AS segments are enumerated once and cached; a flow then
+just selects one equal-cost segment by hash.  The cache is invalidated by
+rebuilding the DataPlane each cycle (network state changes between
+cycles, never within one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..igp.ecmp import flow_hash
+from ..mpls.fec import PrefixFec
+from ..mpls.vendor import get_profile
+from ..net.ip import Prefix
+from .network import AsNetwork, Internet, destination_prefix
+
+
+@dataclass(frozen=True)
+class HopObs:
+    """One router the probe crosses, as traceroute would observe it.
+
+    Attributes:
+        asn: AS owning the router.
+        router_id: router id inside that AS (-1 for the destination host).
+        address: interface address the reply carries.
+        labels: label values on the probe when it arrived here (top
+            first); empty outside tunnels and at PHP exit hops.
+        responsive: whether the router replies to probes at all.
+        quotes_labels: whether the router implements RFC 4950.
+        quoted_ttl: the IP-TTL the ICMP reply quotes (qTTL).  Inside a
+            ttl-propagating tunnel the IP header stops being
+            decremented, so the j-th LSR quotes j+1 — the implicit-
+            tunnel signature.
+        lse_ttl: LSE-TTL carried when the probe expired here.  1 under
+            ttl-propagate; in *opaque* tunnels (RFC 4950 without
+            propagation) the single revealing hop quotes
+            255 - tunnel length + 1.
+    """
+
+    asn: int
+    router_id: int
+    address: int
+    labels: Tuple[int, ...] = ()
+    responsive: bool = True
+    quotes_labels: bool = True
+    quoted_ttl: int = 1
+    lse_ttl: int = 1
+
+
+class UnreachableError(RuntimeError):
+    """Raised when no valley-free route exists towards the destination."""
+
+
+class DataPlane:
+    """Flow-level forwarding over one frozen network state.
+
+    ``era`` identifies the snapshot being forwarded; together with
+    ``flap_rate`` it selects a deterministic set of transiently failed
+    links (withdrawn from the IGP for this era only), the routing noise
+    that the paper's Persistence filter exists to remove.
+    """
+
+    def __init__(self, internet: Internet, era: int = 0,
+                 flap_rate: float = 0.0, egress_noise: float = 0.0):
+        if not 0.0 <= flap_rate < 1.0:
+            raise ValueError(f"flap_rate out of [0,1): {flap_rate}")
+        if not 0.0 <= egress_noise < 1.0:
+            raise ValueError(
+                f"egress_noise out of [0,1): {egress_noise}")
+        self.internet = internet
+        self.era = era
+        self.flap_rate = flap_rate
+        # Hot-potato churn: per era, this share of (AS, neighbor,
+        # destination) egress decisions shifts to another peering link,
+        # rerouting everything downstream of it — the second component
+        # of the routing noise the Persistence filter removes.
+        self.egress_noise = egress_noise
+        # (asn, entry, target) -> list of equal-cost segments, where a
+        # segment is the [(router, link), ...] steps after the entry router.
+        self._segment_cache: Dict[Tuple[int, int, int], List[list]] = {}
+        self._flapped: Dict[int, frozenset] = {}
+
+    def flapped_links(self, asn: int) -> frozenset:
+        """Link ids of one AS that are down during this era."""
+        cached = self._flapped.get(asn)
+        if cached is None:
+            bound = int(self.flap_rate * 10_000)
+            cached = frozenset(
+                link_id
+                for link_id in self.internet.network(asn).topology.links
+                if flow_hash(0xF1A9, self.era, asn, link_id)
+                % 10_000 < bound
+            ) if bound else frozenset()
+            self._flapped[asn] = cached
+        return cached
+
+    # -- public API ----------------------------------------------------------
+
+    def forward_path(self, src_asn: int, src_router: int, src_addr: int,
+                     dst_addr: int, flow_id: int = 0) -> List[HopObs]:
+        """All hops from (but excluding) the source attachment router.
+
+        The first element is the hop *after* the source router inside the
+        source AS (traceroute's own first hop — the attachment gateway —
+        is added by the traceroute engine, which knows its LAN address).
+        Raises :class:`UnreachableError` when BGP offers no route.
+
+        ``flow_id`` models the transport fields a flow-varying prober
+        (MDA) mutates: it changes per-hop ECMP choices but — like real
+        port variation — neither the BGP decision nor a TE tunnel
+        selection, which are destination-based.
+        """
+        dst_origin = self.internet.ip2as.lookup_single(dst_addr)
+        if dst_origin not in self.internet.networks:
+            raise UnreachableError(
+                f"destination {dst_addr} maps to no simulated AS"
+            )
+        as_path = self.internet.routing.as_path(src_asn, dst_origin)
+        if as_path is None:
+            raise UnreachableError(
+                f"no route from AS{src_asn} to AS{dst_origin}"
+            )
+        dst_prefix = Prefix.from_host(dst_addr, 24)
+        flow_digest = flow_hash(src_addr, dst_addr, flow_id)
+
+        hops: List[HopObs] = []
+        entry_router = src_router
+        for position, asn in enumerate(as_path):
+            network = self.internet.network(asn)
+            last_as = position == len(as_path) - 1
+            if last_as:
+                target = self._attachment_router(network, dst_addr)
+                hops.extend(self._walk_as(network, entry_router, target,
+                                          dst_prefix, flow_digest,
+                                          internal=True))
+                hops.append(HopObs(asn=asn, router_id=-1, address=dst_addr,
+                                   labels=(), responsive=True,
+                                   quotes_labels=False))
+                break
+            next_asn = as_path[position + 1]
+            (egress, _egress_addr, _remote_asn, remote_router,
+             remote_addr) = self._egress_towards(asn, next_asn,
+                                                 dst_prefix)
+            hops.extend(self._walk_as(network, entry_router, egress,
+                                      dst_prefix, flow_digest,
+                                      internal=False))
+            # The inter-AS step: the neighbor's border replies with its
+            # side of the peering link.
+            next_network = self.internet.network(next_asn)
+            hops.append(self._plain_hop(next_network, remote_router,
+                                        remote_addr))
+            entry_router = remote_router
+        return hops
+
+    # -- helpers -------------------------------------------------------------
+
+    def _egress_towards(self, asn: int, next_asn: int,
+                        dst_prefix: Prefix):
+        """Egress link selection, with per-era hot-potato churn."""
+        links = self.internet.network(asn).interas.get(next_asn)
+        if not links:
+            raise UnreachableError(
+                f"AS{asn} has no link to AS{next_asn}")
+        index = flow_hash(dst_prefix.network, asn, next_asn) % len(links)
+        if self.egress_noise and len(links) > 1:
+            churned = flow_hash(0xB6, self.era, asn, next_asn,
+                                dst_prefix.network) % 10_000 \
+                < self.egress_noise * 10_000
+            if churned:
+                index = (index + 1) % len(links)
+        return links[index]
+
+    def _attachment_router(self, network: AsNetwork, dst_addr: int) -> int:
+        prefix_index = (dst_addr >> 8) & 0xFF
+        return network.attachment_of(prefix_index)
+
+    def _plain_hop(self, network: AsNetwork, router_id: int,
+                   address: int, labels: Tuple[int, ...] = (),
+                   quoted_ttl: int = 1, lse_ttl: int = 1) -> HopObs:
+        router = network.topology.routers[router_id]
+        return HopObs(
+            asn=network.asn,
+            router_id=router_id,
+            address=address,
+            labels=labels,
+            responsive=router.responsive,
+            quotes_labels=get_profile(router.vendor).rfc4950,
+            quoted_ttl=quoted_ttl,
+            lse_ttl=lse_ttl,
+        )
+
+    def _segments(self, network: AsNetwork, entry: int, target: int
+                  ) -> List[list]:
+        """Equal-cost (router, link) step sequences from entry to target.
+
+        When the AS has flapped links this era, the DAG is recomputed on
+        the reduced topology (falling back to the intact one if the flap
+        would disconnect the pair — a flap on the only path reconverges
+        before traffic is affected at our observation timescale).
+        """
+        key = (network.asn, entry, target)
+        segments = self._segment_cache.get(key)
+        if segments is not None:
+            return segments
+        flapped = self.flapped_links(network.asn)
+        if flapped:
+            from ..igp.spf import spf_to
+
+            dag = spf_to(network.topology, target,
+                         excluded_links=flapped)
+            segments = dag.all_paths(entry, limit=64)
+        else:
+            segments = []
+        if not segments:
+            dag = network.spf.to_destination(target)
+            segments = dag.all_paths(entry, limit=64)
+        self._segment_cache[key] = segments
+        return segments
+
+    def _pick_segment(self, network: AsNetwork, entry: int, target: int,
+                      flow_digest: int) -> list:
+        segments = self._segments(network, entry, target)
+        if not segments:
+            raise UnreachableError(
+                f"AS{network.asn}: router {target} unreachable "
+                f"from {entry}"
+            )
+        index = flow_hash(flow_digest, network.asn, entry, target) \
+            % len(segments)
+        return segments[index]
+
+    def _walk_as(self, network: AsNetwork, entry: int, target: int,
+                 dst_prefix: Prefix, flow_digest: int,
+                 internal: bool) -> List[HopObs]:
+        """Hops after the entry router, up to and including the target.
+
+        Chooses between a TE tunnel, an LDP LSP, and plain IP forwarding
+        according to the AS's current policy; emits label observations
+        exactly as the probes would collect them.
+        """
+        if entry == target:
+            return []
+        policy = network.policy
+        if policy.enabled and (policy.ldp or policy.uses_te
+                               or policy.uses_sr):
+            session = network.te_tunnel_for(entry, target, dst_prefix)
+            if session is not None:
+                return self._mpls_hops(
+                    network, [step for step in session.route],
+                    label_of=lambda r: session.labels.get(r),
+                )
+            if not internal:
+                sr_policy = network.sr_policy_for(entry, target,
+                                                  dst_prefix)
+                if sr_policy is not None:
+                    return self._sr_hops(network, sr_policy, flow_digest)
+            use_ldp = policy.ldp and (
+                policy.ldp_internal if internal
+                else network.ldp_pair_active(entry, target)
+            )
+            if use_ldp:
+                fec = network.transit_fec(target)
+                if fec is not None:
+                    steps = self._pick_segment(network, entry, target,
+                                               flow_digest)
+                    lfib = network.labels.lfib
+                    return self._mpls_hops(
+                        network, steps,
+                        label_of=lambda r: lfib(r).label_for(fec),
+                    )
+        steps = self._pick_segment(network, entry, target, flow_digest)
+        return [
+            self._plain_hop(network, router, link.address_of(router))
+            for router, link in steps
+        ]
+
+    def _sr_hops(self, network: AsNetwork, sr_policy,
+                 flow_digest: int) -> List[HopObs]:
+        """Observations along one segment-routing policy.
+
+        Unlike LDP/RSVP-TE, probes carry shrinking multi-entry stacks:
+        each hop quotes whatever remained when its TTL expired.
+        """
+        steps = network.sr.walk(sr_policy, flow_digest)
+        if not network.policy.ttl_propagate:
+            router, link, _stack = steps[-1]
+            return [self._plain_hop(network, router,
+                                    link.address_of(router))]
+        return [
+            self._plain_hop(network, router, link.address_of(router),
+                            labels=stack,
+                            quoted_ttl=position + 2 if stack else 1)
+            for position, (router, link, stack) in enumerate(steps)
+        ]
+
+    def _mpls_hops(self, network: AsNetwork, steps: Sequence[tuple],
+                   label_of) -> List[HopObs]:
+        """Observations along one LSP.
+
+        ``label_of(router)`` returns the label that router allocated for
+        the FEC/session (None at a PHP egress).
+
+        Without ttl-propagate the LSRs never see the probe expire and
+        only the hop past the tunnel appears.  If that router implements
+        RFC 4950, the tunnel is *opaque*: the one revealing hop quotes
+        the LSE with its barely-decremented TTL (255 - length + 1),
+        betraying the tunnel's length; without RFC 4950 the tunnel is
+        fully *invisible*.
+
+        With ttl-propagate, the IP header stops being decremented inside
+        the tunnel, so the j-th LSR's ICMP reply quotes IP-TTL j+1 — the
+        qTTL signature that reveals *implicit* tunnels (labels absent)
+        and is also present, redundantly, on explicit ones.
+        """
+        if not network.policy.ttl_propagate:
+            router, link = steps[-1]
+            if len(steps) >= 2:
+                previous = steps[-2][0]
+                label = label_of(previous)
+            else:
+                label = None
+            if label is not None:
+                return [self._plain_hop(
+                    network, router, link.address_of(router),
+                    labels=(label,),
+                    lse_ttl=255 - (len(steps) - 1),
+                )]
+            return [self._plain_hop(network, router,
+                                    link.address_of(router))]
+        hops = []
+        for position, (router, link) in enumerate(steps):
+            label = label_of(router)
+            labels = (label,) if label is not None else ()
+            hops.append(self._plain_hop(
+                network, router, link.address_of(router),
+                labels=labels,
+                quoted_ttl=position + 2 if labels else 1,
+            ))
+        return hops

@@ -1,0 +1,72 @@
+"""Vantage points (monitors) and monitor teams.
+
+Mirrors the Archipelago deployment: monitors scattered across stub/edge
+ASes, organised into teams; each team independently covers the probed
+address space (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..igp.ecmp import flow_hash
+from ..net.ip import ip_to_int
+from .network import Internet
+
+_TEN = ip_to_int("10.0.0.0")
+
+
+@dataclass(frozen=True)
+class Monitor:
+    """One traceroute vantage point.
+
+    Attributes:
+        name: ark-style monitor name ("mon-00.as65001").
+        asn: hosting AS.
+        attachment_router: router id of its first-hop gateway.
+        gateway_addr: the gateway's LAN-side interface address (the reply
+            address of traceroute's first hop).
+        src_addr: the monitor host's own source address.
+    """
+
+    name: str
+    asn: int
+    attachment_router: int
+    gateway_addr: int
+    src_addr: int
+
+
+def build_monitors(internet: Internet, per_as: int = 2) -> List[Monitor]:
+    """Create ``per_as`` monitors in every monitor AS of the universe.
+
+    Gateway/source addresses are carved from the hosting AS's
+    infrastructure block (10.i.2.x and 10.i.3.x), so IP2AS resolves them
+    to the hosting AS like any real monitor address.
+    """
+    monitors = []
+    for asn in sorted(internet.spec.monitor_ases):
+        network = internet.network(asn)
+        index = internet.as_index(asn)
+        router_count = network.spec.router_count
+        for slot in range(per_as):
+            attachment = flow_hash(asn, 0xA77, slot) % router_count
+            monitors.append(Monitor(
+                name=f"mon-{slot:02d}.as{asn}",
+                asn=asn,
+                attachment_router=attachment,
+                gateway_addr=_TEN + (index << 16) + (2 << 8) + slot,
+                src_addr=_TEN + (index << 16) + (3 << 8) + slot,
+            ))
+    return monitors
+
+
+def split_into_teams(monitors: List[Monitor], team_count: int = 3
+                     ) -> List[List[Monitor]]:
+    """Round-robin monitors into ``team_count`` teams (ark-style)."""
+    if team_count < 1:
+        raise ValueError(f"need at least one team, got {team_count}")
+    teams: List[List[Monitor]] = [[] for _ in range(team_count)]
+    for position, monitor in enumerate(monitors):
+        teams[position % team_count].append(monitor)
+    return [team for team in teams if team]

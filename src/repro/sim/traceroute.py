@@ -1,0 +1,132 @@
+"""Paris-traceroute engine over the simulated data plane.
+
+Produces :class:`repro.traces.Trace` objects with the exact observable
+semantics of ICMP-Paris traceroute against RFC 4950 routers:
+
+* the flow key is held constant across the TTL sweep, so the probe follows
+  one consistent ECMP branch (the Paris property);
+* a router whose probe TTL expires replies from its incoming interface,
+  quoting the received MPLS label stack if it implements RFC 4950;
+* unresponsive routers appear as anonymous hops; after ``gap_limit``
+  consecutive silent hops the trace is abandoned;
+* transient per-probe loss is drawn deterministically from the engine
+  seed, so a cycle's dataset is reproducible yet differs between cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..igp.ecmp import flow_hash
+from ..mpls.lse import LabelStack, LabelStackEntry
+from ..net.icmp import TimeExceeded, build_probe_quote
+from ..traces import StopReason, Trace, TraceHop
+from .dataplane import DataPlane, HopObs, UnreachableError
+from .monitors import Monitor
+
+_LOSS_SCALE = float(1 << 64)
+
+
+class TracerouteEngine:
+    """Issues simulated Paris traceroutes over one frozen network state."""
+
+    def __init__(self, dataplane: DataPlane, seed: int = 0,
+                 loss_rate: float = 0.01, gap_limit: int = 5,
+                 max_ttl: int = 30):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate out of [0,1): {loss_rate}")
+        self.dataplane = dataplane
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.gap_limit = gap_limit
+        self.max_ttl = max_ttl
+
+    def trace(self, monitor: Monitor, dst_addr: int,
+              timestamp: float = 0.0) -> Trace:
+        """Run one traceroute from a monitor towards a destination."""
+        try:
+            path = self.dataplane.forward_path(
+                monitor.asn, monitor.attachment_router,
+                monitor.src_addr, dst_addr,
+            )
+        except UnreachableError:
+            return Trace(monitor=monitor.name, src=monitor.src_addr,
+                         dst=dst_addr, timestamp=timestamp,
+                         stop_reason=StopReason.UNREACHABLE, hops=[])
+
+        first_hop = HopObs(asn=monitor.asn,
+                           router_id=monitor.attachment_router,
+                           address=monitor.gateway_addr)
+        hops: List[TraceHop] = []
+        silent_streak = 0
+        stop = StopReason.TTL_EXHAUSTED
+        for ttl, obs in enumerate([first_hop] + path, start=1):
+            if ttl > self.max_ttl:
+                break
+            hop = self._reply_for(monitor, dst_addr, ttl, obs)
+            hops.append(hop)
+            if hop.is_anonymous:
+                silent_streak += 1
+                if silent_streak >= self.gap_limit:
+                    stop = StopReason.GAP_LIMIT
+                    break
+            else:
+                silent_streak = 0
+            if obs.router_id == -1 and not hop.is_anonymous:
+                stop = StopReason.COMPLETED
+                break
+        return Trace(monitor=monitor.name, src=monitor.src_addr,
+                     dst=dst_addr, timestamp=timestamp,
+                     stop_reason=stop, hops=hops)
+
+    def trace_all(self, pairs, timestamp: float = 0.0) -> List[Trace]:
+        """Trace every (monitor, destination) pair of an iterable."""
+        return [self.trace(monitor, dst, timestamp)
+                for monitor, dst in pairs]
+
+    # -- internals -----------------------------------------------------------
+
+    def _reply_for(self, monitor: Monitor, dst_addr: int, ttl: int,
+                   obs: HopObs) -> TraceHop:
+        if not obs.responsive or self._lost(monitor, dst_addr, ttl):
+            return TraceHop(probe_ttl=ttl, address=None)
+        stack = ()
+        if obs.labels and obs.quotes_labels:
+            # Build the actual ICMP time-exceeded reply (RFC 4884
+            # structure carrying an RFC 4950 MPLS object) and parse it
+            # back — the byte path a real traceroute implementation
+            # takes.
+            wire_stack = LabelStack([
+                LabelStackEntry(
+                    label=label,
+                    tc=0,
+                    bottom=(index == len(obs.labels) - 1),
+                    ttl=obs.lse_ttl,  # LSE-TTL the expiring probe wore
+                )
+                for index, label in enumerate(obs.labels)
+            ])
+            message = TimeExceeded(
+                quoted=build_probe_quote(monitor.src_addr, dst_addr,
+                                         ttl),
+                stack=wire_stack,
+            )
+            decoded = TimeExceeded.decode(message.encode())
+            stack = tuple(decoded.stack)
+        return TraceHop(
+            probe_ttl=ttl,
+            address=obs.address,
+            rtt_ms=self._rtt(monitor, dst_addr, ttl),
+            quoted_stack=stack,
+            quoted_ttl=obs.quoted_ttl,
+        )
+
+    def _lost(self, monitor: Monitor, dst_addr: int, ttl: int) -> bool:
+        if self.loss_rate <= 0.0:
+            return False
+        digest = flow_hash(self.seed, monitor.src_addr, dst_addr, ttl)
+        return digest / _LOSS_SCALE < self.loss_rate
+
+    def _rtt(self, monitor: Monitor, dst_addr: int, ttl: int) -> float:
+        jitter = flow_hash(self.seed, 0x277, monitor.src_addr,
+                           dst_addr, ttl) % 4000 / 1000.0
+        return 1.0 + 1.8 * ttl + jitter

@@ -1,0 +1,124 @@
+"""Canonical traceroute data model.
+
+Every layer of the repository speaks this vocabulary: the simulator's
+traceroute engine *produces* :class:`Trace` objects, the warts-like codec
+*serializes* them, and LPR *consumes* them.  A trace is a TTL-ordered list
+of :class:`TraceHop` replies; a hop may be anonymous (no reply) and may
+quote an MPLS label stack per RFC 4950.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from .mpls.lse import LabelStackEntry
+from .net.ip import int_to_ip
+
+
+class StopReason(Enum):
+    """Why the traceroute stopped probing."""
+
+    COMPLETED = "completed"      # destination (or its /24) replied
+    GAP_LIMIT = "gap-limit"      # too many consecutive anonymous hops
+    LOOP = "loop"                # forwarding loop detected
+    UNREACHABLE = "unreachable"  # ICMP destination unreachable
+    TTL_EXHAUSTED = "ttl-exhausted"
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One reply (or silence) at a given probe TTL.
+
+    Attributes:
+        probe_ttl: the IP TTL of the probe that triggered this reply.
+        address: replying interface address, or None for an anonymous hop.
+        rtt_ms: round-trip time in milliseconds (0.0 when anonymous).
+        quoted_stack: the MPLS LSEs quoted via RFC 4950, top first
+            (empty when the hop is not label-switched, does not implement
+            RFC 4950, or is anonymous).
+        quoted_ttl: the IP-TTL of the probe as quoted in the ICMP reply
+            (the *qTTL*).  1 on ordinary hops; inside a ttl-propagating
+            tunnel the IP-TTL is no longer decremented (only the LSE-TTL
+            is), so the j-th LSR quotes j+1 — the signature used to
+            reveal *implicit* tunnels when RFC 4950 is absent.
+    """
+
+    probe_ttl: int
+    address: Optional[int]
+    rtt_ms: float = 0.0
+    quoted_stack: Tuple[LabelStackEntry, ...] = ()
+    quoted_ttl: int = 1
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True when the router did not reply (a '*' hop)."""
+        return self.address is None
+
+    @property
+    def has_labels(self) -> bool:
+        """True when an RFC 4950 label stack was quoted."""
+        return bool(self.quoted_stack)
+
+    @property
+    def labels(self) -> Tuple[int, ...]:
+        """Bare label values, top first."""
+        return tuple(entry.label for entry in self.quoted_stack)
+
+    def __str__(self) -> str:
+        if self.is_anonymous:
+            return f"{self.probe_ttl:>2}  *"
+        text = f"{self.probe_ttl:>2}  {int_to_ip(self.address)}" \
+               f"  {self.rtt_ms:.3f} ms"
+        if self.quoted_stack:
+            stack = ", ".join(
+                f"Label={e.label} TC={e.tc} S={int(e.bottom)} TTL={e.ttl}"
+                for e in self.quoted_stack
+            )
+            text += f"  [MPLS: {stack}]"
+        return text
+
+
+@dataclass
+class Trace:
+    """One traceroute measurement."""
+
+    monitor: str                 # vantage-point name
+    src: int                     # probe source address
+    dst: int                     # probed destination address
+    timestamp: float             # seconds since the simulation epoch
+    stop_reason: StopReason
+    hops: List[TraceHop] = field(default_factory=list)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of probed TTLs recorded."""
+        return len(self.hops)
+
+    @property
+    def responsive_hops(self) -> List[TraceHop]:
+        """Hops that replied."""
+        return [hop for hop in self.hops if not hop.is_anonymous]
+
+    @property
+    def has_mpls(self) -> bool:
+        """True when at least one hop quoted a label stack."""
+        return any(hop.has_labels for hop in self.hops)
+
+    @property
+    def reached_destination(self) -> bool:
+        """True when the trace completed."""
+        return self.stop_reason is StopReason.COMPLETED
+
+    def addresses(self) -> List[int]:
+        """Responding addresses in TTL order."""
+        return [hop.address for hop in self.hops
+                if hop.address is not None]
+
+    def __str__(self) -> str:
+        header = (
+            f"traceroute from {self.monitor} ({int_to_ip(self.src)}) "
+            f"to {int_to_ip(self.dst)} [{self.stop_reason.value}]"
+        )
+        return "\n".join([header] + [str(hop) for hop in self.hops])

@@ -1,0 +1,35 @@
+"""Warts-like trace archive codecs (binary and JSON-lines)."""
+
+from .format import (
+    WartsError,
+    WartsReader,
+    WartsWriter,
+    decode_trace,
+    encode_trace,
+    read_archive,
+    write_archive,
+)
+from .jsonl import (
+    dump_jsonl,
+    load_jsonl,
+    read_jsonl,
+    trace_from_dict,
+    trace_to_dict,
+    write_jsonl,
+)
+
+__all__ = [
+    "WartsError",
+    "WartsReader",
+    "WartsWriter",
+    "decode_trace",
+    "encode_trace",
+    "read_archive",
+    "write_archive",
+    "dump_jsonl",
+    "load_jsonl",
+    "read_jsonl",
+    "trace_from_dict",
+    "trace_to_dict",
+    "write_jsonl",
+]

@@ -1,0 +1,216 @@
+"""Binary warts-like trace archive format.
+
+CAIDA distributes Archipelago traceroutes in scamper's *warts* format.  We
+implement a compact binary format with the same role — an append-only
+sequence of length-prefixed trace records — so the analysis pipeline
+exercises a real parse step instead of holding everything in memory.
+
+Layout (all integers big-endian):
+
+* file header: magic ``b"RWTS"``, u16 version.
+* per trace: u32 record length, then the record body::
+
+      u8  monitor-name length, monitor name (utf-8)
+      u32 src, u32 dst
+      f64 timestamp
+      u8  stop reason code
+      u16 hop count, then per hop:
+          u8  probe ttl
+          u8  flags (bit0: responded, bit1: has labels)
+          u32 address        (present iff responded)
+          f32 rtt in ms      (present iff responded)
+          u8  quoted IP TTL  (present iff responded; the qTTL)
+          u8  LSE count, then u32 wire LSEs (present iff has labels)
+
+The format is self-framing: a reader can skip unknown records by length,
+and truncated files fail loudly with :class:`WartsError`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from typing import BinaryIO, Iterator, List
+
+from ..mpls.lse import LabelStackEntry
+from ..traces import StopReason, Trace, TraceHop
+
+MAGIC = b"RWTS"
+VERSION = 2
+
+_STOP_CODES = {reason: code for code, reason in enumerate(StopReason)}
+_STOP_REASONS = {code: reason for reason, code in _STOP_CODES.items()}
+
+_FLAG_RESPONDED = 0x01
+_FLAG_LABELS = 0x02
+
+
+class WartsError(ValueError):
+    """Raised on malformed archive data."""
+
+
+def _encode_hop(hop: TraceHop) -> bytes:
+    flags = 0
+    if not hop.is_anonymous:
+        flags |= _FLAG_RESPONDED
+    if hop.quoted_stack:
+        flags |= _FLAG_LABELS
+    parts = [struct.pack("!BB", hop.probe_ttl, flags)]
+    if not hop.is_anonymous:
+        parts.append(struct.pack("!IfB", hop.address, hop.rtt_ms,
+                                 hop.quoted_ttl))
+    if hop.quoted_stack:
+        parts.append(struct.pack("!B", len(hop.quoted_stack)))
+        parts.extend(
+            struct.pack("!I", entry.encode()) for entry in hop.quoted_stack
+        )
+    return b"".join(parts)
+
+
+def encode_trace(trace: Trace) -> bytes:
+    """Serialize one trace record body (without the length prefix)."""
+    name = trace.monitor.encode("utf-8")
+    if len(name) > 255:
+        raise WartsError(f"monitor name too long: {trace.monitor!r}")
+    if len(trace.hops) > 0xFFFF:
+        raise WartsError(f"too many hops: {len(trace.hops)}")
+    parts = [
+        struct.pack("!B", len(name)),
+        name,
+        struct.pack(
+            "!IIdBH",
+            trace.src,
+            trace.dst,
+            trace.timestamp,
+            _STOP_CODES[trace.stop_reason],
+            len(trace.hops),
+        ),
+    ]
+    parts.extend(_encode_hop(hop) for hop in trace.hops)
+    return b"".join(parts)
+
+
+class _Cursor:
+    """Bounds-checked reader over one record body."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise WartsError("truncated record")
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def done(self) -> bool:
+        return self.offset == len(self.data)
+
+
+def decode_trace(body: bytes) -> Trace:
+    """Parse one trace record body."""
+    cursor = _Cursor(body)
+    (name_length,) = cursor.unpack("!B")
+    monitor = cursor.take(name_length).decode("utf-8")
+    src, dst, timestamp, stop_code, hop_count = cursor.unpack("!IIdBH")
+    if stop_code not in _STOP_REASONS:
+        raise WartsError(f"unknown stop reason code {stop_code}")
+    hops: List[TraceHop] = []
+    for _ in range(hop_count):
+        probe_ttl, flags = cursor.unpack("!BB")
+        address = None
+        rtt = 0.0
+        quoted_ttl = 1
+        if flags & _FLAG_RESPONDED:
+            address, rtt, quoted_ttl = cursor.unpack("!IfB")
+        stack: List[LabelStackEntry] = []
+        if flags & _FLAG_LABELS:
+            (lse_count,) = cursor.unpack("!B")
+            for _ in range(lse_count):
+                (word,) = cursor.unpack("!I")
+                stack.append(LabelStackEntry.decode(word))
+        hops.append(TraceHop(probe_ttl=probe_ttl, address=address,
+                             rtt_ms=rtt, quoted_stack=tuple(stack),
+                             quoted_ttl=quoted_ttl))
+    if not cursor.done():
+        raise WartsError(
+            f"{len(body) - cursor.offset} trailing bytes in record"
+        )
+    return Trace(monitor=monitor, src=src, dst=dst, timestamp=timestamp,
+                 stop_reason=_STOP_REASONS[stop_code], hops=hops)
+
+
+class WartsWriter:
+    """Streams traces into a binary archive."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self._stream.write(MAGIC + struct.pack("!H", VERSION))
+        self.written = 0
+
+    def write(self, trace: Trace) -> None:
+        """Append one trace record."""
+        body = encode_trace(trace)
+        self._stream.write(struct.pack("!I", len(body)))
+        self._stream.write(body)
+        self.written += 1
+
+    def write_all(self, traces) -> None:
+        """Append every trace from an iterable."""
+        for trace in traces:
+            self.write(trace)
+
+
+class WartsReader:
+    """Iterates traces out of a binary archive."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(6)
+        if len(header) != 6 or header[:4] != MAGIC:
+            raise WartsError("not a warts-like archive (bad magic)")
+        (version,) = struct.unpack("!H", header[4:])
+        if version != VERSION:
+            raise WartsError(f"unsupported version {version}")
+
+    def __iter__(self) -> Iterator[Trace]:
+        while True:
+            length_bytes = self._stream.read(4)
+            if not length_bytes:
+                return
+            if len(length_bytes) != 4:
+                raise WartsError("truncated record length")
+            (length,) = struct.unpack("!I", length_bytes)
+            body = self._stream.read(length)
+            if len(body) != length:
+                raise WartsError("truncated record body")
+            yield decode_trace(body)
+
+
+def _opener(path, mode: str):
+    """gzip-transparent file opener (CAIDA ships .warts.gz too)."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def write_archive(path, traces) -> int:
+    """Write traces to a file (gzipped when the name ends in .gz);
+    returns the number written."""
+    with _opener(path, "wb") as stream:
+        writer = WartsWriter(stream)
+        writer.write_all(traces)
+        return writer.written
+
+
+def read_archive(path) -> List[Trace]:
+    """Read every trace from a (possibly gzipped) file."""
+    with _opener(path, "rb") as stream:
+        return list(WartsReader(stream))

@@ -1,0 +1,76 @@
+"""Shared topology builders for the test suite."""
+
+from repro.igp.topology import Router, Topology
+from repro.mpls.lfib import LabelManager
+from repro.net.ip import ip_to_int
+
+
+def _loopback(index):
+    return ip_to_int("10.255.0.0") + index
+
+
+def _iface(index):
+    return ip_to_int("10.0.0.0") + index
+
+
+class AddressPool:
+    """Hands out unique interface addresses for link endpoints."""
+
+    def __init__(self):
+        self._next = 0
+
+    def pair(self):
+        self._next += 2
+        return _iface(self._next - 2), _iface(self._next - 1)
+
+
+def make_routers(topology, count, vendor="cisco", borders=()):
+    """Add ``count`` routers; ids 0..count-1; mark some as borders."""
+    for index in range(count):
+        topology.add_router(Router(
+            router_id=index,
+            loopback=_loopback(index),
+            vendor=vendor,
+            is_border=index in borders,
+        ))
+
+
+def chain_topology(length=4, vendor="cisco"):
+    """R0 - R1 - ... - R(n-1); ends are borders."""
+    topology = Topology(asn=65000)
+    make_routers(topology, length, vendor, borders={0, length - 1})
+    pool = AddressPool()
+    for index in range(length - 1):
+        a, b = pool.pair()
+        topology.add_link(index, index + 1, a, b)
+    return topology
+
+
+def diamond_topology(vendor="cisco"):
+    """R0 -< R1 / R2 >- R3: two equal-cost router-disjoint paths."""
+    topology = Topology(asn=65000)
+    make_routers(topology, 4, vendor, borders={0, 3})
+    pool = AddressPool()
+    for left, right in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+        a, b = pool.pair()
+        topology.add_link(left, right, a, b)
+    return topology
+
+
+def parallel_link_topology(vendor="cisco"):
+    """R0 == R1 - R2: two parallel links, then a single link."""
+    topology = Topology(asn=65000)
+    make_routers(topology, 3, vendor, borders={0, 2})
+    pool = AddressPool()
+    for left, right in [(0, 1), (0, 1), (1, 2)]:
+        a, b = pool.pair()
+        topology.add_link(left, right, a, b)
+    return topology
+
+
+def label_manager_for(topology):
+    """A LabelManager covering every router of a topology."""
+    return LabelManager({
+        router_id: router.vendor
+        for router_id, router in topology.routers.items()
+    })

@@ -1,0 +1,127 @@
+"""Unit tests for the figure-regeneration functions on synthetic data."""
+
+import pytest
+
+from repro.analysis.aggregate import LongitudinalStudy
+from repro.analysis.figures import (
+    fig5a,
+    fig5b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig13,
+    fig16,
+    per_as_figure,
+)
+from repro.core.classification import (
+    ClassificationResult,
+    IotpVerdict,
+    MonoFecSubclass,
+    TunnelClass,
+)
+from repro.core.pipeline import PersistencePoint
+from repro.mpls.lse import LabelStackEntry
+from repro.net.ip import Prefix, ip_to_int
+from repro.net.ip2as import Ip2AsMapper
+from repro.traces import StopReason, Trace, TraceHop
+
+from test_analysis import fake_cycle
+
+
+@pytest.fixture
+def study():
+    return LongitudinalStudy(
+        fake_cycle(c, mono=2 + c % 3, multi=1 + c % 2,
+                   mpls_ips=10 + c, other_ips=100 + c)
+        for c in range(1, 13)
+    )
+
+
+class TestLongitudinalFigures:
+    def test_fig5a(self, study):
+        result = fig5a(study)
+        assert result.figure_id == "fig5a"
+        assert len(result.data["shares"]) == 12
+        assert "tunnel share" in result.text
+
+    def test_fig5b(self, study):
+        result = fig5b(study)
+        assert "growth" in result.data
+        assert "MPLS IPs" in result.text
+        assert "growth over the study" in result.text
+
+    def test_per_as_figure(self, study):
+        result = per_as_figure(study, 65002, "TestNet", "fig10")
+        assert result.figure_id == "fig10"
+        assert max(result.data["counts"]) >= 1
+        assert "AS65002" in result.text
+
+    def test_fig13(self, study):
+        result = fig13(study, 65001)
+        assert set(result.data["averages"]) \
+            == {"routers-disjoint", "parallel-links"}
+
+
+class TestSnapshotFigures:
+    def test_fig7_8_9(self, study):
+        last = study.results[-1]
+        assert fig7(last).data["pdf"]
+        fig8_result = fig8(last)
+        assert fig8_result.data["overall"]
+        assert set(fig8_result.data["per_class"]) \
+            <= {"mono-fec", "multi-fec"}
+        fig9_result = fig9(last)
+        assert set(fig9_result.data["per_class"]) \
+            == {"mono-fec", "multi-fec"}
+
+    def test_fig6_table(self):
+        def classification(count):
+            result = ClassificationResult()
+            for index in range(count):
+                result.add(IotpVerdict(
+                    key=(65001, 1, index),
+                    tunnel_class=TunnelClass.MONO_LSP))
+            return result
+
+        points = [
+            PersistencePoint(window=0, kept_lsps=10,
+                             classification=classification(5)),
+            PersistencePoint(window=2, kept_lsps=8,
+                             classification=classification(4)),
+        ]
+        result = fig6(points)
+        assert result.data["kept"] == {0: 10, 2: 8}
+        assert "LSPs kept" in result.text
+
+
+class TestFig16Synthetic:
+    def test_daily_ramp_counts(self):
+        ip2as = Ip2AsMapper()
+        ip2as.add(Prefix.parse("10.1.0.0/16"), 65001)
+        ip2as.add(Prefix.parse("50.0.0.0/16"), 65100)
+        ip2as.add(Prefix.parse("50.1.0.0/16"), 65101)
+
+        def mpls_trace(dst):
+            hops = [
+                TraceHop(1, ip_to_int("10.1.0.1"), 1.0),
+                TraceHop(2, ip_to_int("10.1.0.2"), 1.0,
+                         (LabelStackEntry(100, bottom=True, ttl=1),)),
+                TraceHop(3, ip_to_int("10.1.0.9"), 1.0),
+                TraceHop(4, ip_to_int(dst), 1.0),
+            ]
+            return Trace(monitor="m", src=1, dst=ip_to_int(dst),
+                         timestamp=0.0,
+                         stop_reason=StopReason.COMPLETED, hops=hops)
+
+        days = [
+            [],                                           # day 1: dark
+            [mpls_trace("50.0.0.1")],                     # day 2
+            [mpls_trace("50.0.0.1"), mpls_trace("50.1.0.1")],  # day 3
+        ]
+        result = fig16(days, ip2as, 65001)
+        assert result.data["iotps_before"] == [0, 1, 1]
+        assert result.data["lsps_before"] == [0, 1, 1]
+        # After filtering: day 2's IOTP dies on TransitDiversity (one
+        # destination AS); day 3 survives with two.
+        assert result.data["iotps_after"] == [0, 0, 1]

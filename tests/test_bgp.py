@@ -1,0 +1,212 @@
+"""Unit tests for the AS graph and valley-free routing."""
+
+import pytest
+
+from repro.bgp.asgraph import AsGraph, AsGraphError, AsNode, Relationship, \
+    Tier
+from repro.bgp.routing import BgpRouting
+
+
+def small_internet():
+    """Two tier-1s, two transits, three stubs.
+
+            T1a ===== T1b          (=== peering)
+           /    \\       \\
+        TRa      TRb      S3       (/ \\ provider->customer)
+        /  \\       \\
+      S1    S2       S2 (multihomed)
+    """
+    graph = AsGraph()
+    graph.add_as(AsNode(100, "T1a", Tier.TIER1))
+    graph.add_as(AsNode(200, "T1b", Tier.TIER1))
+    graph.add_as(AsNode(300, "TRa", Tier.TRANSIT))
+    graph.add_as(AsNode(400, "TRb", Tier.TRANSIT))
+    graph.add_as(AsNode(501, "S1", Tier.STUB))
+    graph.add_as(AsNode(502, "S2", Tier.STUB))
+    graph.add_as(AsNode(503, "S3", Tier.STUB))
+    graph.add_p2p(100, 200)
+    graph.add_c2p(300, 100)
+    graph.add_c2p(400, 100)
+    graph.add_c2p(400, 200)
+    graph.add_c2p(503, 200)
+    graph.add_c2p(501, 300)
+    graph.add_c2p(502, 300)
+    graph.add_c2p(502, 400)
+    return graph
+
+
+class TestAsGraph:
+    def test_duplicate_asn_rejected(self):
+        graph = AsGraph()
+        graph.add_as(AsNode(1))
+        with pytest.raises(AsGraphError):
+            graph.add_as(AsNode(1))
+
+    def test_edges_need_known_ases(self):
+        graph = AsGraph()
+        graph.add_as(AsNode(1))
+        with pytest.raises(AsGraphError):
+            graph.add_c2p(1, 2)
+        with pytest.raises(AsGraphError):
+            graph.add_p2p(1, 2)
+
+    def test_self_edges_rejected(self):
+        graph = AsGraph()
+        graph.add_as(AsNode(1))
+        with pytest.raises(AsGraphError):
+            graph.add_c2p(1, 1)
+
+    def test_relationships_are_symmetric_views(self):
+        graph = small_internet()
+        assert graph.relationship(300, 100) is Relationship.PROVIDER
+        assert graph.relationship(100, 300) is Relationship.CUSTOMER
+        assert graph.relationship(100, 200) is Relationship.PEER
+        assert graph.relationship(501, 502) is None
+
+    def test_customers_providers_peers(self):
+        graph = small_internet()
+        assert graph.customers(300) == [501, 502]
+        assert graph.providers(502) == [300, 400]
+        assert graph.peers(100) == [200]
+
+    def test_customer_cone(self):
+        graph = small_internet()
+        assert graph.customer_cone(300) == {300, 501, 502}
+        assert graph.customer_cone(100) == {100, 300, 400, 501, 502}
+        assert graph.customer_cone(501) == {501}
+
+    def test_validate_ok(self):
+        small_internet().validate()
+
+    def test_validate_rejects_no_tier1(self):
+        graph = AsGraph()
+        graph.add_as(AsNode(1, tier=Tier.STUB))
+        with pytest.raises(AsGraphError):
+            graph.validate()
+
+    def test_validate_rejects_tier1_with_provider(self):
+        graph = AsGraph()
+        graph.add_as(AsNode(1, tier=Tier.TIER1))
+        graph.add_as(AsNode(2, tier=Tier.TIER1))
+        graph.add_c2p(1, 2)
+        with pytest.raises(AsGraphError):
+            graph.validate()
+
+    def test_validate_rejects_orphan(self):
+        graph = small_internet()
+        graph.add_as(AsNode(999, tier=Tier.STUB))
+        with pytest.raises(AsGraphError):
+            graph.validate()
+
+    def test_default_name(self):
+        assert AsNode(42).name == "AS42"
+
+
+class TestValleyFreeRouting:
+    def test_self_path(self):
+        routing = BgpRouting(small_internet())
+        assert routing.as_path(501, 501) == [501]
+
+    def test_customer_route_up(self):
+        routing = BgpRouting(small_internet())
+        # 300 reaches its customer 501 directly.
+        assert routing.as_path(300, 501) == [300, 501]
+
+    def test_stub_to_stub_same_transit(self):
+        routing = BgpRouting(small_internet())
+        assert routing.as_path(501, 502) == [501, 300, 502]
+
+    def test_path_across_peering(self):
+        routing = BgpRouting(small_internet())
+        # 501 -> 300 -> 100 ~ 200 -> 503 (up, peer, down).
+        assert routing.as_path(501, 503) == [501, 300, 100, 200, 503]
+
+    def test_customer_preferred_over_peer(self):
+        """100 must reach 502 via customer 300/400, never via peer 200."""
+        routing = BgpRouting(small_internet())
+        path = routing.as_path(100, 502)
+        assert path is not None
+        assert path[1] in (300, 400)
+
+    def test_multihomed_stub_prefers_shorter(self):
+        routing = BgpRouting(small_internet())
+        # From 503: 503 -> 200 -> 400 -> 502 (provider, then customers).
+        assert routing.as_path(503, 502) == [503, 200, 400, 502]
+
+    def test_valley_free_no_transit_through_stub(self):
+        """501 and 502 share provider 300; 502's other provider 400 must
+        not route to 501 through its customer 502 (a valley)."""
+        routing = BgpRouting(small_internet())
+        path = routing.as_path(400, 501)
+        assert path is not None
+        assert 502 not in path
+
+    def test_all_pairs_reachable(self):
+        graph = small_internet()
+        routing = BgpRouting(graph)
+        for src in graph.nodes:
+            for dst in graph.nodes:
+                assert routing.reachable(src, dst), (src, dst)
+
+    def test_paths_are_valley_free(self):
+        graph = small_internet()
+        routing = BgpRouting(graph)
+        for src in graph.nodes:
+            for dst in graph.nodes:
+                if src == dst:
+                    continue
+                path = routing.as_path(src, dst)
+                phases = [graph.relationship(path[i], path[i + 1])
+                          for i in range(len(path) - 1)]
+                # Once we go across (peer) or down (customer), we must
+                # never go up (provider) again; at most one peer step.
+                descended = False
+                peer_steps = 0
+                for rel in phases:
+                    if rel is Relationship.PROVIDER:
+                        assert not descended, (path, phases)
+                    elif rel is Relationship.PEER:
+                        peer_steps += 1
+                        descended = True
+                    else:
+                        descended = True
+                assert peer_steps <= 1, (path, phases)
+
+    def test_next_as(self):
+        routing = BgpRouting(small_internet())
+        assert routing.next_as(501, 503) == 300
+        assert routing.next_as(503, 503) is None
+
+    def test_unknown_destination_raises(self):
+        routing = BgpRouting(small_internet())
+        with pytest.raises(KeyError):
+            routing.table_for(31337)
+
+    def test_invalidate_recomputes(self):
+        graph = small_internet()
+        routing = BgpRouting(graph)
+        assert routing.as_path(501, 503) is not None
+        graph.add_as(AsNode(600, tier=Tier.STUB))
+        graph.add_c2p(600, 300)
+        routing.invalidate()
+        assert routing.as_path(600, 503) == [600, 300, 100, 200, 503]
+
+    def test_tie_break_is_deterministic(self):
+        """502 is multihomed to 300 and 400 with equal path length to 100;
+        the hashed tie-break must pick one and always the same one."""
+        first = BgpRouting(small_internet()).as_path(502, 100)
+        second = BgpRouting(small_internet()).as_path(502, 100)
+        assert first in ([502, 300, 100], [502, 400, 100])
+        assert first == second
+
+    def test_tie_break_spreads_destinations(self):
+        """Different destinations should not all funnel through the same
+        equally-good next hop (the hash depends on the destination)."""
+        graph = small_internet()
+        # Give 100 many customers so 502 sees many equal-length choices.
+        for asn in range(900, 930):
+            graph.add_as(AsNode(asn, tier=Tier.STUB))
+            graph.add_c2p(asn, 100)
+        routing = BgpRouting(graph)
+        next_hops = {routing.next_as(502, dst) for dst in range(900, 930)}
+        assert next_hops == {300, 400}

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    """A small simulated campaign written to disk once."""
+    out = tmp_path_factory.mktemp("campaign")
+    code = main(["simulate", "--cycles", "1", "--first-cycle", "30",
+                 "--scale", "0.4", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--artifacts", "fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.cycles == 60
+        assert args.artifacts == ["table1", "fig7"]
+
+
+class TestSimulate:
+    def test_outputs_archives_and_table(self, campaign_dir):
+        cycle_dir = campaign_dir / "cycle-30"
+        snapshots = sorted(cycle_dir.glob("snapshot-*.rwts"))
+        assert len(snapshots) == 3
+        assert (campaign_dir / "pfx2as.txt").exists()
+        assert snapshots[0].stat().st_size > 100
+
+
+class TestShow:
+    def test_prints_traces(self, campaign_dir, capsys):
+        archive = campaign_dir / "cycle-30" / "snapshot-0.rwts"
+        assert main(["show", "--archive", str(archive),
+                     "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "traceroute from" in output
+        assert "2 of" in output
+
+    def test_mpls_only_filter(self, campaign_dir, capsys):
+        archive = campaign_dir / "cycle-30" / "snapshot-0.rwts"
+        assert main(["show", "--archive", str(archive),
+                     "--limit", "1", "--mpls-only"]) == 0
+        assert "MPLS" in capsys.readouterr().out
+
+
+class TestClassify:
+    def test_full_report(self, campaign_dir, capsys):
+        cycle_dir = campaign_dir / "cycle-30"
+        assert main(["classify", "--cycle-dir", str(cycle_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "transit diversity" in output
+        assert "mono-lsp" in output
+
+    def test_missing_directory(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["classify", "--cycle-dir", str(empty)]) == 1
+
+    def test_php_heuristic_flag_accepted(self, campaign_dir):
+        cycle_dir = campaign_dir / "cycle-30"
+        assert main(["classify", "--cycle-dir", str(cycle_dir),
+                     "--php-heuristic"]) == 0
+
+
+class TestStudy:
+    def test_regenerates_requested_artifacts(self, capsys):
+        code = main(["study", "--cycles", "4", "--scale", "0.4",
+                     "--artifacts", "table1", "fig7"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "== table1 ==" in output
+        assert "== fig7 ==" in output
+
+
+class TestAudit:
+    def test_per_as_report(self, campaign_dir, capsys):
+        cycle_dir = campaign_dir / "cycle-30"
+        assert main(["audit", "--cycle-dir", str(cycle_dir),
+                     "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "IOTPs across" in output
+        assert "classes:" in output
+
+    def test_missing_dir(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["audit", "--cycle-dir", str(empty)]) == 1

@@ -1,0 +1,152 @@
+"""Tests for alias inference and router-level IOTPs (§5 extensions)."""
+
+import pytest
+
+from repro.core.alias import (
+    AliasResolver,
+    UnionFind,
+    infer_aliases,
+    router_level_iotps,
+)
+from repro.core.model import Iotp, Lsp
+
+ASN = 65001
+
+
+def lsp(entry, exit_, hops, dst=9999):
+    return Lsp(entry=entry, exit=exit_, hops=tuple(hops), complete=True,
+               monitor="m", dst=dst, asn=ASN)
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        assert uf.find(1) == 1
+        assert uf.groups() == []
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union(3, 1)
+        uf.union(1, 2)
+        assert uf.find(3) == uf.find(2) == 1  # smallest root wins
+        assert uf.groups() == [{1, 2, 3}]
+
+    def test_separate_groups(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(10, 20)
+        assert uf.find(1) != uf.find(10)
+        assert len(uf.groups()) == 2
+
+
+class TestAliasResolver:
+    def test_resolution(self):
+        resolver = AliasResolver()
+        resolver.add_alias_pair(5, 9)
+        assert resolver.are_aliases(5, 9)
+        assert not resolver.are_aliases(5, 7)
+        assert resolver.resolve(9) == resolver.resolve(5)
+
+    def test_unknown_address_resolves_to_itself(self):
+        assert AliasResolver().resolve(42) == 42
+
+
+class TestInferAliases:
+    def test_predecessors_of_shared_address_are_aliases(self):
+        """Two LSPs converge on address 30: their penultimate hops must
+        be interfaces of the same upstream router."""
+        lsps = [
+            lsp(1, 99, [(10, 100), (30, 300)]),
+            lsp(1, 99, [(20, 200), (30, 300)]),
+        ]
+        resolver = infer_aliases(lsps)
+        assert resolver.are_aliases(10, 20)
+
+    def test_exit_predecessors_merge(self):
+        """Both LSPs end at exit 99: their last LSRs are aliases."""
+        lsps = [
+            lsp(1, 99, [(10, 100), (11, 200)]),
+            lsp(1, 99, [(20, 300), (21, 400)]),
+        ]
+        resolver = infer_aliases(lsps)
+        assert resolver.are_aliases(11, 21)
+        assert not resolver.are_aliases(10, 20)
+
+    def test_no_shared_addresses_no_aliases(self):
+        lsps = [
+            lsp(1, 99, [(10, 100)]),
+            lsp(2, 98, [(20, 200)]),
+        ]
+        assert infer_aliases(lsps).alias_sets() == []
+
+    def test_transitive_merging(self):
+        lsps = [
+            lsp(1, 99, [(10, 100), (30, 300)]),
+            lsp(1, 99, [(20, 200), (30, 300)]),
+            lsp(1, 99, [(21, 200), (30, 300)]),
+        ]
+        resolver = infer_aliases(lsps)
+        assert resolver.are_aliases(10, 21)
+
+
+class TestRouterLevelIotps:
+    def build_split_iotps(self):
+        """Two IP-level IOTPs whose entries are aliases (same LER)."""
+        first = Iotp(asn=ASN, entry=11, exit=99)
+        first.add(lsp(11, 99, [(10, 100)]), dst_asn=1)
+        second = Iotp(asn=ASN, entry=12, exit=99)
+        second.add(lsp(12, 99, [(10, 101)]), dst_asn=2)
+        return {first.key: first, second.key: second}
+
+    def test_merging_reduces_count(self):
+        iotps = self.build_split_iotps()
+        resolver = AliasResolver()
+        resolver.add_alias_pair(11, 12)
+        merged = router_level_iotps(iotps, resolver)
+        assert len(merged) == 1
+        iotp = next(iter(merged.values()))
+        assert iotp.width == 2
+        assert iotp.dst_asns == {1, 2}
+
+    def test_no_aliases_no_merging(self):
+        iotps = self.build_split_iotps()
+        merged = router_level_iotps(iotps, AliasResolver())
+        assert len(merged) == 2
+
+    def test_dynamic_tag_survives_merge(self):
+        iotps = self.build_split_iotps()
+        next(iter(iotps.values())).dynamic = True
+        resolver = AliasResolver()
+        resolver.add_alias_pair(11, 12)
+        merged = router_level_iotps(iotps, resolver)
+        assert next(iter(merged.values())).dynamic
+
+    def test_merged_key_uses_canonical_addresses(self):
+        iotps = self.build_split_iotps()
+        resolver = AliasResolver()
+        resolver.add_alias_pair(11, 12)
+        merged = router_level_iotps(iotps, resolver)
+        (asn, entry, exit_), = merged.keys()
+        assert asn == ASN
+        assert entry == resolver.resolve(11) == resolver.resolve(12)
+
+    def test_classification_after_merge(self):
+        """Merging two Mono-LSP IOTPs can reveal Multi-FEC: the same
+        convergence, seen at the router level."""
+        from repro.core.classification import TunnelClass, classify
+
+        first = Iotp(asn=ASN, entry=11, exit=99)
+        first.add(lsp(11, 99, [(10, 100), (30, 300)]), dst_asn=1)
+        second = Iotp(asn=ASN, entry=12, exit=99)
+        second.add(lsp(12, 99, [(10, 100), (30, 301)]), dst_asn=2)
+        iotps = {first.key: first, second.key: second}
+
+        ip_level = classify(iotps)
+        assert all(v.tunnel_class is TunnelClass.MONO_LSP
+                   for v in ip_level.verdicts.values())
+
+        resolver = AliasResolver()
+        resolver.add_alias_pair(11, 12)
+        merged = classify(router_level_iotps(iotps, resolver))
+        (verdict,) = merged.verdicts.values()
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC

@@ -1,0 +1,231 @@
+"""Unit tests for LPR's classification stage (Algorithm 1).
+
+Every class of the paper's Fig 4 is reconstructed from hand-built LSPs
+with known ground truth, including the Mono-FEC subclassing and the §5
+PHP alias heuristic.
+"""
+
+import pytest
+
+from repro.core.classification import (
+    MonoFecSubclass,
+    TunnelClass,
+    classify,
+    classify_iotp,
+    subclassify_mono_fec,
+)
+from repro.core.model import Iotp, Lsp, group_into_iotps
+
+ENTRY = 1000
+EXIT = 2000
+ASN = 65001
+
+
+def lsp(hops, dst=9999):
+    return Lsp(entry=ENTRY, exit=EXIT, hops=tuple(hops), complete=True,
+               monitor="m", dst=dst, asn=ASN)
+
+
+def iotp_of(*lsp_list):
+    iotp = Iotp(asn=ASN, entry=ENTRY, exit=EXIT)
+    for index, item in enumerate(lsp_list):
+        iotp.add(item, dst_asn=100 + index)
+    return iotp
+
+
+class TestMonoLsp:
+    def test_single_lsp(self):
+        verdict = classify_iotp(iotp_of(lsp([(10, 100), (11, 200)])))
+        assert verdict.tunnel_class is TunnelClass.MONO_LSP
+        assert verdict.width == 1
+
+    def test_same_lsp_observed_many_times(self):
+        one = lsp([(10, 100)], dst=5000)
+        two = lsp([(10, 100)], dst=6000)  # identical signature
+        verdict = classify_iotp(iotp_of(one, two))
+        assert verdict.tunnel_class is TunnelClass.MONO_LSP
+
+
+class TestMultiFec:
+    def test_fig4b_pattern(self):
+        """Same IP path, different labels at a shared LSR: RSVP-TE."""
+        first = lsp([(10, 100), (11, 200)])
+        second = lsp([(10, 101), (11, 201)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC
+        assert verdict.width == 2
+
+    def test_one_differing_label_is_enough(self):
+        first = lsp([(10, 100), (11, 200)])
+        second = lsp([(10, 100), (11, 999)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC
+
+    def test_partially_disjoint_te_paths(self):
+        """Distinct labels at the single convergence LSR."""
+        first = lsp([(10, 100), (30, 300)])
+        second = lsp([(20, 200), (30, 301)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC
+
+
+class TestMonoFec:
+    def test_fig4c_routers_disjoint(self):
+        """Disjoint middles converging on a shared labelled LSR."""
+        first = lsp([(10, 100), (30, 300)])
+        second = lsp([(20, 200), (30, 300)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MONO_FEC
+        assert verdict.subclass is MonoFecSubclass.ROUTERS_DISJOINT
+
+    def test_fig4d_parallel_links(self):
+        """Identical label sequences on different addresses: aliases."""
+        first = lsp([(10, 100), (11, 200)])
+        second = lsp([(12, 100), (11, 200)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MONO_FEC
+        assert verdict.subclass is MonoFecSubclass.PARALLEL_LINKS
+
+    def test_all_common_ips_must_agree(self):
+        """One Multi-FEC common IP outweighs any number of Mono-FEC
+        ones (Algorithm 1 breaks on first difference)."""
+        first = lsp([(10, 100), (11, 200), (12, 300)])
+        second = lsp([(10, 100), (11, 999), (12, 300)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC
+
+    def test_three_branches(self):
+        first = lsp([(10, 100), (30, 300)])
+        second = lsp([(20, 200), (30, 300)])
+        third = lsp([(21, 201), (30, 300)])
+        verdict = classify_iotp(iotp_of(first, second, third))
+        assert verdict.tunnel_class is TunnelClass.MONO_FEC
+        assert verdict.width == 3
+
+    def test_subclassify_direct(self):
+        same_labels = iotp_of(lsp([(10, 100)]), lsp([(12, 100)]))
+        assert subclassify_mono_fec(same_labels) \
+            is MonoFecSubclass.PARALLEL_LINKS
+        diff_labels = iotp_of(lsp([(10, 100), (30, 300)]),
+                              lsp([(20, 200), (30, 300)]))
+        assert subclassify_mono_fec(diff_labels) \
+            is MonoFecSubclass.ROUTERS_DISJOINT
+
+
+class TestUnclassified:
+    def test_no_common_ip(self):
+        first = lsp([(10, 100), (11, 200)])
+        second = lsp([(20, 300), (21, 400)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.tunnel_class is TunnelClass.UNCLASSIFIED
+
+    def test_php_heuristic_mono_fec(self):
+        """Disjoint branches whose last labels match: the penultimate
+        routers are aliases, and a single label means LDP."""
+        first = lsp([(10, 100), (11, 500)])
+        second = lsp([(20, 300), (21, 500)])
+        verdict = classify_iotp(iotp_of(first, second),
+                                php_heuristic=True)
+        assert verdict.tunnel_class is TunnelClass.MONO_FEC
+
+    def test_php_heuristic_multi_fec(self):
+        first = lsp([(10, 100), (11, 500)])
+        second = lsp([(20, 300), (21, 501)])
+        verdict = classify_iotp(iotp_of(first, second),
+                                php_heuristic=True)
+        assert verdict.tunnel_class is TunnelClass.MULTI_FEC
+
+    def test_php_heuristic_leaves_classified_alone(self):
+        first = lsp([(10, 100), (30, 300)])
+        second = lsp([(20, 200), (30, 300)])
+        with_heuristic = classify_iotp(iotp_of(first, second),
+                                       php_heuristic=True)
+        without = classify_iotp(iotp_of(first, second))
+        assert with_heuristic.tunnel_class == without.tunnel_class
+
+
+class TestVerdictMetadata:
+    def test_dynamic_flag_propagates(self):
+        iotp = iotp_of(lsp([(10, 100)]))
+        iotp.dynamic = True
+        assert classify_iotp(iotp).dynamic
+
+    def test_metrics_in_verdict(self):
+        first = lsp([(10, 100), (11, 200), (12, 300)])
+        second = lsp([(10, 100)])
+        verdict = classify_iotp(iotp_of(first, second))
+        assert verdict.length == 3
+        assert verdict.symmetry == 2
+        assert verdict.width == 2
+
+
+class TestClassifyMany:
+    def build_result(self):
+        mono = iotp_of(lsp([(10, 100)]))
+        multi = Iotp(asn=ASN, entry=ENTRY, exit=EXIT + 1)
+        multi.add(lsp([(10, 100)]), 1)
+        multi.add(lsp([(10, 101)]), 2)
+        return classify({mono.key: mono, multi.key: multi})
+
+    def test_counts_and_shares(self):
+        result = self.build_result()
+        counts = result.counts()
+        assert counts[TunnelClass.MONO_LSP] == 1
+        assert counts[TunnelClass.MULTI_FEC] == 1
+        shares = result.shares()
+        assert shares[TunnelClass.MONO_LSP] == 0.5
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_of_class(self):
+        result = self.build_result()
+        assert len(result.of_class(TunnelClass.MONO_LSP)) == 1
+        assert len(result.of_class(TunnelClass.MONO_FEC)) == 0
+
+    def test_for_as_filtering(self):
+        result = self.build_result()
+        assert len(result.for_as(ASN)) == 2
+        assert len(result.for_as(123)) == 0
+
+    def test_empty_shares(self):
+        from repro.core.classification import ClassificationResult
+
+        empty = ClassificationResult()
+        assert all(v == 0.0 for v in empty.shares().values())
+        assert all(v == 0.0 for v in empty.subclass_shares().values())
+
+    def test_subclass_shares(self):
+        parallel = iotp_of(lsp([(10, 100), (11, 200)]),
+                           lsp([(12, 100), (11, 200)]))
+        disjoint = Iotp(asn=ASN, entry=ENTRY, exit=EXIT + 1)
+        disjoint.add(lsp([(10, 100), (30, 300)]), 1)
+        disjoint.add(lsp([(20, 200), (30, 300)]), 2)
+        result = classify({parallel.key: parallel,
+                           disjoint.key: disjoint})
+        shares = result.subclass_shares()
+        assert shares[MonoFecSubclass.PARALLEL_LINKS] == 0.5
+        assert shares[MonoFecSubclass.ROUTERS_DISJOINT] == 0.5
+
+
+class TestGroupingModel:
+    def test_group_into_iotps(self):
+        first = lsp([(10, 100)], dst=1)
+        second = lsp([(10, 101)], dst=2)
+        iotps = group_into_iotps([(first, 100), (second, 200)])
+        assert len(iotps) == 1
+        iotp = next(iter(iotps.values()))
+        assert iotp.width == 2
+        assert iotp.dst_asns == {100, 200}
+
+    def test_group_rejects_unmapped(self):
+        unmapped = Lsp(entry=1, exit=2, hops=((10, 100),),
+                       complete=True, monitor="m", dst=1, asn=None)
+        with pytest.raises(ValueError):
+            group_into_iotps([(unmapped, 1)])
+
+    def test_common_addresses_and_labels_at(self):
+        iotp = iotp_of(lsp([(10, 100), (30, 300)]),
+                       lsp([(20, 200), (30, 301)]))
+        assert iotp.common_addresses() == {30}
+        assert iotp.labels_at(30) == {300, 301}
+        assert iotp.labels_at(10) == {100}
+        assert iotp.labels_at(999) == set()

@@ -1,0 +1,119 @@
+"""Unit tests for the label-dynamics analysis (Fig 17 machinery)."""
+
+import pytest
+
+from repro.core.dynamics import (
+    label_series,
+    rank_by_churn,
+    step_durations,
+    summarize_all,
+    summarize_series,
+)
+from repro.mpls.lse import LabelStackEntry
+from repro.net.ip import Prefix, ip_to_int
+from repro.net.ip2as import Ip2AsMapper
+from repro.traces import StopReason, Trace, TraceHop
+
+ASN = 1273
+
+
+def mapper():
+    m = Ip2AsMapper()
+    m.add(Prefix.parse("10.4.0.0/16"), ASN)
+    m.add(Prefix.parse("10.9.0.0/16"), 65000)
+    return m
+
+
+def labelled_hop(ttl, address, label):
+    return TraceHop(probe_ttl=ttl, address=address, rtt_ms=1.0,
+                    quoted_stack=(LabelStackEntry(label, bottom=True,
+                                                  ttl=1),))
+
+
+def probe(timestamp, labels_by_addr):
+    hops = [TraceHop(probe_ttl=1, address=ip_to_int("10.9.0.1"),
+                     rtt_ms=0.5)]
+    for index, (address, label) in enumerate(labels_by_addr.items()):
+        hops.append(labelled_hop(index + 2, ip_to_int(address), label))
+    return Trace(monitor="strasbourg", src=1, dst=2,
+                 timestamp=timestamp, stop_reason=StopReason.COMPLETED,
+                 hops=hops)
+
+
+LSR1 = "10.4.16.1"
+LSR2 = "10.4.16.3"
+
+
+class TestLabelSeries:
+    def test_series_extraction(self):
+        traces = [
+            probe(0.0, {LSR1: 300_000, LSR2: 300_500}),
+            probe(120.0, {LSR1: 300_000, LSR2: 301_000}),
+        ]
+        series = label_series(traces, mapper(), ASN)
+        assert series[ip_to_int(LSR1)] == [(0.0, 300_000),
+                                           (120.0, 300_000)]
+        assert series[ip_to_int(LSR2)] == [(0.0, 300_500),
+                                           (120.0, 301_000)]
+
+    def test_foreign_as_hops_excluded(self):
+        traces = [probe(0.0, {LSR1: 300_000, "10.9.0.7": 17})]
+        series = label_series(traces, mapper(), ASN)
+        assert set(series) == {ip_to_int(LSR1)}
+
+    def test_series_sorted_by_time(self):
+        traces = [probe(120.0, {LSR1: 2}), probe(0.0, {LSR1: 1})]
+        series = label_series(traces, mapper(), ASN)
+        assert series[ip_to_int(LSR1)] == [(0.0, 1), (120.0, 2)]
+
+
+class TestSummaries:
+    def test_stable_series(self):
+        summary = summarize_series([(0, 5), (1, 5), (2, 5)])
+        assert summary.change_points == 0
+        assert summary.wraps == 0
+        assert summary.distinct_labels == 1
+        assert summary.changes_per_sample == 0.0
+
+    def test_sawtooth(self):
+        # Climb, wrap, climb: the Fig 17 shape.
+        samples = [(0, 100), (1, 200), (2, 300), (3, 50), (4, 150)]
+        summary = summarize_series(samples)
+        assert summary.change_points == 4
+        assert summary.wraps == 1
+        assert summary.mean_step == pytest.approx(100.0)
+        assert summary.min_label == 50
+        assert summary.max_label == 300
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+
+    def test_single_sample(self):
+        summary = summarize_series([(0, 42)])
+        assert summary.samples == 1
+        assert summary.changes_per_sample == 0.0
+
+    def test_summarize_all(self):
+        series = {1: [(0, 5)], 2: [(0, 9), (1, 10)], 3: []}
+        summaries = summarize_all(series)
+        assert set(summaries) == {1, 2}
+
+    def test_rank_by_churn_busier_first(self):
+        quiet = [(t, 100 + 10 * (t // 5)) for t in range(20)]
+        busy = [(t, 100 + 50 * t) for t in range(20)]
+        summaries = summarize_all({1: quiet, 2: busy})
+        ranked = rank_by_churn(summaries)
+        assert [address for address, _ in ranked] == [2, 1]
+
+
+class TestStepDurations:
+    def test_durations(self):
+        samples = [(0.0, 1), (10.0, 1), (20.0, 2), (25.0, 2), (45.0, 3)]
+        assert step_durations(samples) == [20.0, 25.0]
+
+    def test_no_changes(self):
+        assert step_durations([(0.0, 1), (5.0, 1)]) == []
+
+    def test_empty(self):
+        assert step_durations([]) == []

@@ -1,0 +1,139 @@
+"""Unit tests for explicit-tunnel extraction from traces."""
+
+import pytest
+
+from repro.mpls.lse import LabelStackEntry
+from repro.traces import StopReason, Trace, TraceHop
+from repro.core.extraction import extract_all, extract_lsps, \
+    traces_with_tunnels
+
+
+def hop(ttl, address, label=None, anonymous=False):
+    if anonymous:
+        return TraceHop(probe_ttl=ttl, address=None)
+    stack = ()
+    if label is not None:
+        stack = (LabelStackEntry(label, bottom=True, ttl=1),)
+    return TraceHop(probe_ttl=ttl, address=address, rtt_ms=1.0,
+                    quoted_stack=stack)
+
+
+def trace(*hops):
+    return Trace(monitor="m", src=1, dst=99, timestamp=0.0,
+                 stop_reason=StopReason.COMPLETED, hops=list(hops))
+
+
+class TestExtraction:
+    def test_no_labels_no_lsps(self):
+        t = trace(hop(1, 10), hop(2, 11), hop(3, 99))
+        assert extract_lsps(t) == []
+
+    def test_single_run(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100),
+                  hop(3, 21, label=200), hop(4, 30), hop(5, 99))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 1
+        lsp = lsps[0]
+        assert lsp.entry == 10
+        assert lsp.exit == 30
+        assert lsp.hops == ((20, 100), (21, 200))
+        assert lsp.complete
+        assert lsp.dst == 99
+        assert lsp.monitor == "m"
+
+    def test_two_separate_runs(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100), hop(3, 30),
+                  hop(4, 40, label=300), hop(5, 50), hop(6, 99))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 2
+        assert lsps[0].hops == ((20, 100),)
+        assert lsps[0].exit == 30
+        assert lsps[1].entry == 30
+        assert lsps[1].hops == ((40, 300),)
+
+    def test_anonymous_inside_run_incomplete(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100),
+                  hop(3, 0, anonymous=True), hop(4, 22, label=300),
+                  hop(5, 30), hop(6, 99))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 1
+        assert not lsps[0].complete
+        assert lsps[0].hops == ((20, 100), (22, 300))
+
+    def test_anonymous_entry_incomplete(self):
+        t = trace(hop(1, 0, anonymous=True), hop(2, 20, label=100),
+                  hop(3, 30), hop(4, 99))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 1
+        assert lsps[0].entry is None
+        assert not lsps[0].complete
+
+    def test_anonymous_exit_incomplete(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100),
+                  hop(3, 0, anonymous=True), hop(4, 40), hop(5, 99))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 1
+        assert lsps[0].exit is None
+        assert not lsps[0].complete
+
+    def test_run_at_trace_start_incomplete(self):
+        t = trace(hop(1, 20, label=100), hop(2, 30), hop(3, 99))
+        lsps = extract_lsps(t)
+        assert lsps[0].entry is None
+        assert not lsps[0].complete
+
+    def test_run_at_trace_end_incomplete(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100))
+        lsps = extract_lsps(t)
+        assert lsps[0].exit is None
+        assert not lsps[0].complete
+
+    def test_trailing_anonymous_after_run(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100),
+                  hop(3, 0, anonymous=True), hop(4, 0, anonymous=True))
+        lsps = extract_lsps(t)
+        assert len(lsps) == 1
+        assert lsps[0].exit is None
+
+    def test_top_label_of_stack_is_used(self):
+        stack = (LabelStackEntry(700, bottom=False, ttl=1),
+                 LabelStackEntry(800, bottom=True, ttl=1))
+        t = trace(hop(1, 10),
+                  TraceHop(probe_ttl=2, address=20, rtt_ms=1.0,
+                           quoted_stack=stack),
+                  hop(3, 30), hop(4, 99))
+        lsps = extract_lsps(t)
+        assert lsps[0].hops == ((20, 700),)
+
+    def test_extract_all(self):
+        traces = [
+            trace(hop(1, 10), hop(2, 20, label=100), hop(3, 30),
+                  hop(4, 99)),
+            trace(hop(1, 10), hop(2, 11), hop(3, 99)),
+        ]
+        assert len(extract_all(traces)) == 1
+
+    def test_traces_with_tunnels(self):
+        traces = [
+            trace(hop(1, 10), hop(2, 20, label=100), hop(3, 99)),
+            trace(hop(1, 10), hop(2, 11), hop(3, 99)),
+        ]
+        assert traces_with_tunnels(traces) == 1
+
+    def test_lsp_properties(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100),
+                  hop(3, 21, label=200), hop(4, 30), hop(5, 99))
+        lsp = extract_lsps(t)[0]
+        assert lsp.length == 2
+        assert lsp.addresses == (20, 21)
+        assert lsp.labels == (100, 200)
+        assert lsp.signature == (10, 30, ((20, 100), (21, 200)))
+
+    def test_with_asn_annotation(self):
+        t = trace(hop(1, 10), hop(2, 20, label=100), hop(3, 30),
+                  hop(4, 99))
+        lsp = extract_lsps(t)[0]
+        annotated = lsp.with_asn(65001)
+        assert annotated.asn == 65001
+        assert lsp.asn is None  # original untouched
+        assert annotated.signature == lsp.signature

@@ -1,0 +1,212 @@
+"""Unit tests for the LPR filtering stage."""
+
+import pytest
+
+from repro.core.filters import (
+    drop_incomplete,
+    intra_as,
+    persistence,
+    run_filters,
+    target_as,
+    transit_diversity,
+)
+from repro.core.model import Lsp
+from repro.net.ip import Prefix, ip_to_int
+from repro.net.ip2as import Ip2AsMapper
+
+AS_A = 65001
+AS_B = 65002
+AS_DST = 65100
+
+
+def mapper():
+    m = Ip2AsMapper()
+    m.add(Prefix.parse("10.1.0.0/16"), AS_A)
+    m.add(Prefix.parse("10.2.0.0/16"), AS_B)
+    m.add(Prefix.parse("50.0.0.0/16"), AS_DST)
+    m.add(Prefix.parse("50.1.0.0/16"), AS_DST + 1)
+    return m
+
+
+def addr(text):
+    return ip_to_int(text)
+
+
+def make_lsp(entry="10.1.0.1", exit_="10.1.0.9",
+             hops=(("10.1.0.2", 100), ("10.1.0.3", 200)),
+             complete=True, dst="50.0.0.1", monitor="m", asn=None):
+    return Lsp(
+        entry=addr(entry) if entry else None,
+        exit=addr(exit_) if exit_ else None,
+        hops=tuple((addr(a), label) for a, label in hops),
+        complete=complete,
+        monitor=monitor,
+        dst=addr(dst),
+        asn=asn,
+    )
+
+
+class TestIndividualFilters:
+    def test_drop_incomplete(self):
+        lsps = [make_lsp(), make_lsp(complete=False)]
+        assert len(drop_incomplete(lsps)) == 1
+
+    def test_intra_as_annotates(self):
+        kept = intra_as([make_lsp()], mapper())
+        assert len(kept) == 1
+        assert kept[0].asn == AS_A
+
+    def test_intra_as_rejects_mixed(self):
+        lsp = make_lsp(hops=(("10.1.0.2", 100), ("10.2.0.3", 200)))
+        assert intra_as([lsp], mapper()) == []
+
+    def test_intra_as_rejects_unrouted(self):
+        lsp = make_lsp(hops=(("203.0.113.1", 100),))
+        assert intra_as([lsp], mapper()) == []
+
+    def test_intra_as_ignores_entry_exit(self):
+        """The paper checks the LSP's own addresses, i.e. the LSRs; the
+        entry interface may come from a neighbor's address space."""
+        lsp = make_lsp(entry="10.2.0.1")
+        assert len(intra_as([lsp], mapper())) == 1
+
+    def test_target_as_rejects_same_as(self):
+        lsp = make_lsp(dst="50.0.0.1", asn=AS_DST)
+        assert target_as([lsp], mapper()) == []
+
+    def test_target_as_keeps_transit(self):
+        lsp = make_lsp(dst="50.0.0.1", asn=AS_A)
+        assert len(target_as([lsp], mapper())) == 1
+
+    def test_transit_diversity_requires_two_dst_ases(self):
+        one_dest = [
+            make_lsp(dst="50.0.0.1", asn=AS_A),
+            make_lsp(dst="50.0.1.1", asn=AS_A),  # same dst AS
+        ]
+        kept, iotps = transit_diversity(one_dest, mapper())
+        assert kept == []
+        assert iotps == {}
+
+    def test_transit_diversity_keeps_diverse(self):
+        diverse = [
+            make_lsp(dst="50.0.0.1", asn=AS_A),
+            make_lsp(dst="50.1.0.1", asn=AS_A),  # different dst AS
+        ]
+        kept, iotps = transit_diversity(diverse, mapper())
+        assert len(kept) == 2
+        assert len(iotps) == 1
+
+    def test_transit_diversity_per_iotp(self):
+        lsps = [
+            make_lsp(dst="50.0.0.1", asn=AS_A),
+            make_lsp(dst="50.1.0.1", asn=AS_A),
+            make_lsp(entry="10.1.0.7", dst="50.0.0.1", asn=AS_A),
+        ]
+        kept, iotps = transit_diversity(lsps, mapper())
+        assert len(kept) == 2  # the single-destination IOTP is dropped
+        assert len(iotps) == 1
+
+
+class TestPersistence:
+    def test_keeps_recurring(self):
+        lsp = make_lsp(asn=AS_A)
+        outcome = persistence([lsp], [ {lsp.signature} ])
+        assert outcome.kept == [lsp]
+        assert outcome.dynamic_ases == []
+
+    def test_removes_vanished(self):
+        stable = make_lsp(asn=AS_A)
+        gone = make_lsp(entry="10.1.0.7", asn=AS_A)
+        # Many stable LSPs so the AS stays above the reinjection bar.
+        extras = [
+            make_lsp(entry=f"10.1.1.{i}", asn=AS_A) for i in range(9)
+        ]
+        follow = {lsp.signature for lsp in [stable] + extras}
+        outcome = persistence([stable, gone] + extras, [follow])
+        assert gone not in outcome.kept
+        assert stable in outcome.kept
+        assert outcome.dynamic_ases == []
+
+    def test_union_over_window(self):
+        lsp = make_lsp(asn=AS_A)
+        outcome = persistence([lsp], [set(), {lsp.signature}])
+        assert outcome.kept == [lsp]
+
+    def test_reinjection_tags_dynamic(self):
+        lsps = [make_lsp(entry=f"10.1.1.{i}", asn=AS_A)
+                for i in range(10)]
+        outcome = persistence(lsps, [set()])
+        assert sorted(outcome.kept, key=lambda l: l.entry) == \
+            sorted(lsps, key=lambda l: l.entry)
+        assert outcome.dynamic_ases == [AS_A]
+
+    def test_reinjection_threshold(self):
+        lsps = [make_lsp(entry=f"10.1.1.{i}", asn=AS_A)
+                for i in range(10)]
+        # 3 of 10 survive: above the 10% bar, so no re-injection.
+        follow = {lsp.signature for lsp in lsps[:3]}
+        outcome = persistence(lsps, [follow])
+        assert len(outcome.kept) == 3
+        assert outcome.dynamic_ases == []
+
+    def test_reinjection_is_per_as(self):
+        stable = [make_lsp(entry=f"10.1.1.{i}", asn=AS_A)
+                  for i in range(5)]
+        churny = [make_lsp(hops=(("10.2.0.2", 100),),
+                           entry=f"10.2.1.{i}", asn=AS_B)
+                  for i in range(5)]
+        follow = {lsp.signature for lsp in stable}
+        outcome = persistence(stable + churny, [follow])
+        assert outcome.dynamic_ases == [AS_B]
+        assert len(outcome.kept) == 10  # AS_B fully re-injected
+
+    def test_no_followups_is_noop(self):
+        lsps = [make_lsp(asn=AS_A)]
+        outcome = persistence(lsps, [])
+        assert outcome.kept == lsps
+        assert outcome.dynamic_ases == []
+
+
+class TestRunFilters:
+    def test_full_pipeline_counts(self):
+        ip2as = mapper()
+        good_a = make_lsp(dst="50.0.0.1")
+        good_b = make_lsp(dst="50.1.0.1")
+        incomplete = make_lsp(complete=False)
+        mixed = make_lsp(hops=(("10.1.0.2", 1), ("10.2.0.2", 2)))
+        same_as_dst = make_lsp(
+            hops=(("50.0.2.2", 1),), dst="50.0.0.1",
+            entry="50.0.2.1", exit_="50.0.2.9")
+        lsps = [good_a, good_b, incomplete, mixed, same_as_dst]
+        follow = [{good_a.signature, good_b.signature}]
+        iotps, stats = run_filters(lsps, ip2as, follow)
+        assert stats.extracted == 5
+        assert stats.after_incomplete == 4
+        assert stats.after_intra_as == 3
+        assert stats.after_target_as == 2
+        assert stats.after_transit_diversity == 2
+        assert stats.after_persistence == 2
+        assert len(iotps) == 1
+
+    def test_dynamic_tag_lands_on_iotp(self):
+        ip2as = mapper()
+        lsps = [make_lsp(dst="50.0.0.1"), make_lsp(dst="50.1.0.1")]
+        iotps, stats = run_filters(lsps, ip2as,
+                                   follow_up_signatures=[set()])
+        assert stats.reinjected_ases == [AS_A]
+        assert all(iotp.dynamic for iotp in iotps.values())
+
+    def test_proportions(self):
+        ip2as = mapper()
+        lsps = [make_lsp(dst="50.0.0.1"), make_lsp(dst="50.1.0.1"),
+                make_lsp(complete=False), make_lsp(complete=False)]
+        _, stats = run_filters(lsps, ip2as)
+        props = stats.proportions()
+        assert props["incomplete"] == 0.5
+        assert props["persistence"] == 0.5
+
+    def test_empty_input(self):
+        iotps, stats = run_filters([], mapper())
+        assert iotps == {}
+        assert stats.extracted == 0
+        assert all(v == 0.0 for v in stats.proportions().values())

@@ -1,0 +1,146 @@
+"""Tests for the LSP-tree (egress-rooted) analysis — §5 future work."""
+
+import pytest
+
+from repro.core.lsptree import (
+    LspTree,
+    TreeClass,
+    analyze_trees,
+    classify_tree,
+    group_into_trees,
+)
+from repro.core.model import Lsp
+
+ASN = 65001
+EXIT = 9000
+
+
+def lsp(entry, hops, dst=1):
+    return Lsp(entry=entry, exit=EXIT, hops=tuple(hops), complete=True,
+               monitor="m", dst=dst, asn=ASN)
+
+
+class TestGrouping:
+    def test_branches_from_different_ingresses_merge(self):
+        """The whole point of the tree view: IOTPs keyed on (entry,
+        exit) keep these LSPs apart, the tree joins them."""
+        first = lsp(100, [(10, 500), (30, 300)])
+        second = lsp(200, [(20, 600), (30, 300)])
+        trees = group_into_trees([(first, 1), (second, 2)])
+        assert len(trees) == 1
+        tree = trees[(ASN, EXIT)]
+        assert tree.branch_count == 2
+        assert tree.ingress_count == 2
+        assert tree.dst_asns == {1, 2}
+
+    def test_unmapped_rejected(self):
+        bad = Lsp(entry=1, exit=None, hops=((10, 1),), complete=False,
+                  monitor="m", dst=1, asn=ASN)
+        with pytest.raises(ValueError):
+            group_into_trees([(bad, 1)])
+
+    def test_distinct_egresses_distinct_trees(self):
+        first = lsp(100, [(10, 500)])
+        second = Lsp(entry=100, exit=EXIT + 1, hops=((10, 500),),
+                     complete=True, monitor="m", dst=2, asn=ASN)
+        trees = group_into_trees([(first, 1), (second, 2)])
+        assert len(trees) == 2
+
+
+class TestTreeClassification:
+    def test_single_branch(self):
+        trees = group_into_trees([(lsp(100, [(10, 500)]), 1)])
+        assert classify_tree(trees[(ASN, EXIT)]) \
+            is TreeClass.SINGLE_BRANCH
+
+    def test_consistent_ldp_tree(self):
+        """Branches from two ingresses share the convergence LSR's
+        label: the LDP LSP-tree signature."""
+        first = lsp(100, [(10, 500), (30, 300)])
+        second = lsp(200, [(20, 600), (30, 300)])
+        trees = group_into_trees([(first, 1), (second, 2)])
+        assert classify_tree(trees[(ASN, EXIT)]) is TreeClass.CONSISTENT
+
+    def test_inconsistent_te_tree(self):
+        first = lsp(100, [(10, 500), (30, 300)])
+        second = lsp(200, [(20, 600), (30, 301)])
+        trees = group_into_trees([(first, 1), (second, 2)])
+        assert classify_tree(trees[(ASN, EXIT)]) \
+            is TreeClass.INCONSISTENT
+
+    def test_disjoint_tree(self):
+        first = lsp(100, [(10, 500)])
+        second = lsp(200, [(20, 600)])
+        trees = group_into_trees([(first, 1), (second, 2)])
+        assert classify_tree(trees[(ASN, EXIT)]) is TreeClass.DISJOINT
+
+
+class TestReport:
+    def test_analyze_counts(self):
+        consistent = [
+            (lsp(100, [(10, 500), (30, 300)]), 1),
+            (lsp(200, [(20, 600), (30, 300)]), 2),
+        ]
+        lone = [(Lsp(entry=1, exit=EXIT + 5, hops=((40, 700),),
+                     complete=True, monitor="m", dst=3, asn=ASN), 3)]
+        report = analyze_trees(group_into_trees(consistent + lone))
+        assert report.tree_count == 2
+        assert report.counts[TreeClass.CONSISTENT] == 1
+        assert report.counts[TreeClass.SINGLE_BRANCH] == 1
+        assert report.share(TreeClass.CONSISTENT) == 0.5
+        assert report.classified_lsps == 2
+
+    def test_empty_report(self):
+        report = analyze_trees({})
+        assert report.tree_count == 0
+        assert report.share(TreeClass.CONSISTENT) == 0.0
+
+
+class TestOnSimulatedData:
+    @pytest.fixture(scope="class")
+    def filtered(self):
+        from repro.core import LprPipeline
+        from repro.core.extraction import extract_all
+        from repro.core.filters import drop_incomplete, intra_as, \
+            target_as
+        from repro.sim import ArkSimulator, paper_scenario
+
+        simulator = ArkSimulator(paper_scenario(scale=0.7, seed=21))
+        data = simulator.run_cycle(40)
+        ip2as = simulator.internet.ip2as
+        lsps = target_as(
+            intra_as(drop_incomplete(extract_all(data.traces)), ip2as),
+            ip2as)
+        return ip2as, lsps
+
+    def test_trees_classify_more_lsps_than_iotps(self, filtered):
+        """§5's motivation: indexing by egress only lets LPR reason
+        about strictly more of the collected LSPs."""
+        from repro.core.model import group_into_iotps
+
+        ip2as, lsps = filtered
+        pairs = [(lsp, ip2as.lookup_single(lsp.dst)) for lsp in lsps]
+        trees = group_into_trees(pairs)
+        iotps = group_into_iotps(pairs)
+        assert len(trees) <= len(iotps)
+        multi_branch_tree_lsps = sum(
+            t.branch_count for t in trees.values()
+            if t.branch_count >= 2)
+        multi_branch_iotp_lsps = sum(
+            i.width for i in iotps.values() if i.width >= 2)
+        assert multi_branch_tree_lsps >= multi_branch_iotp_lsps
+
+    def test_ldp_heavy_as_trees_mostly_consistent(self, filtered):
+        """Trees in the LDP-dominated Tata must be mostly consistent
+        (its 4% RSVP-TE share allows the odd inconsistent one)."""
+        from repro.sim.scenarios import TATA
+
+        ip2as, lsps = filtered
+        pairs = [(lsp, ip2as.lookup_single(lsp.dst))
+                 for lsp in lsps if lsp.asn == TATA]
+        trees = group_into_trees(pairs)
+        report = analyze_trees(trees)
+        assert report.tree_count > 0
+        assert report.mean_ingresses >= 1.0
+        assert report.counts[TreeClass.CONSISTENT] \
+            > report.counts[TreeClass.INCONSISTENT]

@@ -1,0 +1,107 @@
+"""Unit tests for IOTP metrics and their distributions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.classification import (
+    ClassificationResult,
+    IotpVerdict,
+    TunnelClass,
+)
+from repro.core.metrics import (
+    balanced_share,
+    distribution,
+    length_distribution,
+    share_at_most,
+    symmetry_distribution_by_class,
+    width_distribution,
+    width_distribution_by_class,
+)
+
+
+def verdict(key_suffix, tunnel_class, width=1, length=2, symmetry=0):
+    return IotpVerdict(
+        key=(65001, 1, key_suffix),
+        tunnel_class=tunnel_class,
+        width=width, length=length, symmetry=symmetry,
+    )
+
+
+def make_result(verdicts):
+    result = ClassificationResult()
+    for item in verdicts:
+        result.add(item)
+    return result
+
+
+class TestDistribution:
+    def test_normalizes(self):
+        pdf = distribution([1, 1, 2, 3])
+        assert pdf == {1: 0.5, 2: 0.25, 3: 0.25}
+
+    def test_empty(self):
+        assert distribution([]) == {}
+
+    def test_clamp_folds_tail(self):
+        pdf = distribution([1, 5, 25, 99], clamp=10)
+        assert pdf == {1: 0.25, 5: 0.25, 10: 0.5}
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1))
+    def test_sums_to_one(self, values):
+        pdf = distribution(values)
+        assert sum(pdf.values()) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1),
+           st.integers(min_value=1, max_value=20))
+    def test_clamped_sums_to_one(self, values, clamp):
+        pdf = distribution(values, clamp=clamp)
+        assert sum(pdf.values()) == pytest.approx(1.0)
+        assert max(pdf) <= clamp
+
+
+class TestIotpDistributions:
+    def build(self):
+        return make_result([
+            verdict(1, TunnelClass.MONO_LSP, width=1, length=1),
+            verdict(2, TunnelClass.MONO_LSP, width=1, length=2),
+            verdict(3, TunnelClass.MONO_FEC, width=2, length=3,
+                    symmetry=0),
+            verdict(4, TunnelClass.MONO_FEC, width=12, length=3,
+                    symmetry=1),
+            verdict(5, TunnelClass.MULTI_FEC, width=2, length=5,
+                    symmetry=0),
+        ])
+
+    def test_length_distribution(self):
+        pdf = length_distribution(self.build())
+        assert pdf[1] == pytest.approx(0.2)
+        assert pdf[3] == pytest.approx(0.4)
+
+    def test_width_distribution_clamps(self):
+        pdf = width_distribution(self.build(), clamp=10)
+        assert pdf[1] == pytest.approx(0.4)
+        assert pdf[10] == pytest.approx(0.2)  # the width-12 IOTP
+
+    def test_width_by_class(self):
+        per_class = width_distribution_by_class(self.build())
+        assert per_class[TunnelClass.MONO_LSP] == {1: 1.0}
+        assert per_class[TunnelClass.MULTI_FEC] == {2: 1.0}
+
+    def test_symmetry_by_class_excludes_mono_lsp(self):
+        per_class = symmetry_distribution_by_class(self.build())
+        assert set(per_class) == {TunnelClass.MONO_FEC,
+                                  TunnelClass.MULTI_FEC}
+        assert per_class[TunnelClass.MONO_FEC] == {0: 0.5, 1: 0.5}
+
+    def test_balanced_share(self):
+        result = self.build()
+        assert balanced_share(result, TunnelClass.MONO_FEC) == 0.5
+        assert balanced_share(result, TunnelClass.MULTI_FEC) == 1.0
+        assert balanced_share(ClassificationResult(),
+                              TunnelClass.MONO_FEC) == 0.0
+
+    def test_share_at_most(self):
+        pdf = length_distribution(self.build())
+        assert share_at_most(pdf, 3) == pytest.approx(0.8)
+        assert share_at_most(pdf, 0) == 0.0
+        assert share_at_most(pdf, 99) == pytest.approx(1.0)

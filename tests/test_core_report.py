@@ -1,0 +1,78 @@
+"""Tests for the per-AS usage report."""
+
+import pytest
+
+from repro.core import LprPipeline, TunnelClass
+from repro.core.report import (
+    profile_all,
+    profile_as,
+    render_profile,
+    render_report,
+)
+from repro.sim import ArkSimulator, paper_scenario
+from repro.sim.scenarios import TATA, TELIA, VODAFONE
+
+
+@pytest.fixture(scope="module")
+def cycle_result():
+    simulator = ArkSimulator(paper_scenario(scale=0.6, seed=4))
+    pipeline = LprPipeline(simulator.internet.ip2as)
+    return pipeline.process_cycle(simulator.run_cycle(40))
+
+
+class TestProfileAs:
+    def test_tata_profile(self, cycle_result):
+        profile = profile_as(cycle_result, TATA)
+        assert profile.iotp_count > 0
+        assert profile.lsp_count >= profile.iotp_count
+        assert profile.dominant_class is not None
+        assert profile.dst_as_fanout >= 2.0  # TransitDiversity floor
+        assert 0 < profile.mean_length < 10
+        assert abs(sum(profile.class_shares.values()) - 1.0) < 1e-9
+
+    def test_vodafone_dynamic_flag(self, cycle_result):
+        profile = profile_as(cycle_result, VODAFONE)
+        if profile.iotp_count:
+            assert profile.dynamic
+            assert profile.class_shares[TunnelClass.MULTI_FEC] > 0
+
+    def test_mpls_free_as(self, cycle_result):
+        profile = profile_as(cycle_result, TELIA)
+        assert profile.iotp_count == 0
+        assert profile.dominant_class is None
+        assert "no explicit MPLS" in profile.headline()
+
+
+class TestRendering:
+    def test_render_profile_sections(self, cycle_result):
+        text = render_profile(profile_as(cycle_result, TATA), "Tata")
+        assert "AS6453 (Tata)" in text
+        assert "classes:" in text
+        assert "geometry:" in text
+
+    def test_render_empty_profile(self, cycle_result):
+        text = render_profile(profile_as(cycle_result, TELIA))
+        assert "no explicit MPLS" in text
+        assert "classes:" not in text
+
+    def test_headline_mentions_dynamic(self, cycle_result):
+        profile = profile_as(cycle_result, VODAFONE)
+        if profile.iotp_count:
+            assert "dynamic" in profile.headline()
+
+
+class TestFullReport:
+    def test_profiles_ordered_busiest_first(self, cycle_result):
+        profiles = profile_all(cycle_result)
+        counts = [profile.iotp_count for profile in profiles]
+        assert counts == sorted(counts, reverse=True)
+        assert all(profile.iotp_count > 0 for profile in profiles)
+
+    def test_render_report_with_limit(self, cycle_result):
+        text = render_report(cycle_result, limit=2)
+        assert text.count("classes:") <= 2
+        assert "cycle 40:" in text
+
+    def test_render_report_names(self, cycle_result):
+        text = render_report(cycle_result, names={TATA: "Tata"})
+        assert "(Tata)" in text

@@ -1,0 +1,173 @@
+"""Tests for the tunnel-revelation taxonomy (§2.3 background)."""
+
+import pytest
+
+from repro.core.revelation import (
+    RevealedTunnel,
+    TunnelVisibility,
+    reveal_tunnels,
+    visibility_census,
+)
+from repro.mpls.lse import LabelStackEntry
+from repro.traces import StopReason, Trace, TraceHop
+
+
+def hop(ttl, address, label=None, lse_ttl=1, quoted_ttl=1,
+        anonymous=False):
+    if anonymous:
+        return TraceHop(probe_ttl=ttl, address=None)
+    stack = ()
+    if label is not None:
+        stack = (LabelStackEntry(label, bottom=True, ttl=lse_ttl),)
+    return TraceHop(probe_ttl=ttl, address=address, rtt_ms=1.0,
+                    quoted_stack=stack, quoted_ttl=quoted_ttl)
+
+
+def trace(*hops):
+    return Trace(monitor="m", src=1, dst=99, timestamp=0.0,
+                 stop_reason=StopReason.COMPLETED, hops=list(hops))
+
+
+class TestExplicitDetection:
+    def test_explicit_run(self):
+        t = trace(hop(1, 10),
+                  hop(2, 20, label=100, quoted_ttl=2),
+                  hop(3, 21, label=200, quoted_ttl=3),
+                  hop(4, 30), hop(5, 99))
+        tunnels = reveal_tunnels(t)
+        assert len(tunnels) == 1
+        tunnel = tunnels[0]
+        assert tunnel.visibility is TunnelVisibility.EXPLICIT
+        assert tunnel.hop_count == 2
+        assert tunnel.inferred_length == 2
+        assert tunnel.start_index == 1
+
+    def test_plain_trace_reveals_nothing(self):
+        t = trace(hop(1, 10), hop(2, 11), hop(3, 99))
+        assert reveal_tunnels(t) == []
+
+
+class TestImplicitDetection:
+    def test_qttl_signature(self):
+        """Label-less hops whose qTTL climbs 2, 3, 4: an implicit
+        tunnel (ttl-propagate without RFC 4950)."""
+        t = trace(hop(1, 10),
+                  hop(2, 20, quoted_ttl=2),
+                  hop(3, 21, quoted_ttl=3),
+                  hop(4, 22, quoted_ttl=4),
+                  hop(5, 30), hop(6, 99))
+        tunnels = reveal_tunnels(t)
+        assert len(tunnels) == 1
+        assert tunnels[0].visibility is TunnelVisibility.IMPLICIT
+        assert tunnels[0].inferred_length == 3
+
+    def test_non_monotone_qttl_splits_runs(self):
+        t = trace(hop(1, 10),
+                  hop(2, 20, quoted_ttl=2),
+                  hop(3, 21, quoted_ttl=2),  # not climbing: new tunnel
+                  hop(4, 99))
+        tunnels = reveal_tunnels(t)
+        assert len(tunnels) == 2
+        assert all(tn.visibility is TunnelVisibility.IMPLICIT
+                   for tn in tunnels)
+
+    def test_qttl_one_is_ordinary(self):
+        t = trace(hop(1, 10, quoted_ttl=1), hop(2, 99, quoted_ttl=1))
+        assert reveal_tunnels(t) == []
+
+
+class TestOpaqueDetection:
+    def test_high_lse_ttl_hop(self):
+        t = trace(hop(1, 10), hop(2, 20, label=300, lse_ttl=250),
+                  hop(3, 99))
+        tunnels = reveal_tunnels(t)
+        assert len(tunnels) == 1
+        tunnel = tunnels[0]
+        assert tunnel.visibility is TunnelVisibility.OPAQUE
+        assert tunnel.hop_count == 1
+        # 255 - 250 + 1 = 6 hidden LSRs.
+        assert tunnel.inferred_length == 6
+
+    def test_explicit_not_mistaken_for_opaque(self):
+        t = trace(hop(1, 10), hop(2, 20, label=300, lse_ttl=1),
+                  hop(3, 30), hop(4, 99))
+        (tunnel,) = reveal_tunnels(t)
+        assert tunnel.visibility is TunnelVisibility.EXPLICIT
+
+
+class TestMixedTraces:
+    def test_explicit_then_opaque(self):
+        t = trace(hop(1, 10),
+                  hop(2, 20, label=100),
+                  hop(3, 30),
+                  hop(4, 40, label=300, lse_ttl=251),
+                  hop(5, 99))
+        kinds = [tn.visibility for tn in reveal_tunnels(t)]
+        assert kinds == [TunnelVisibility.EXPLICIT,
+                         TunnelVisibility.OPAQUE]
+
+    def test_census(self):
+        traces = [
+            trace(hop(1, 10), hop(2, 20, label=100), hop(3, 99)),
+            trace(hop(1, 10), hop(2, 20, quoted_ttl=2),
+                  hop(3, 21, quoted_ttl=3), hop(4, 99)),
+            trace(hop(1, 10), hop(2, 99)),
+        ]
+        census = visibility_census(traces)
+        assert census.trace_count == 3
+        assert census.tunnels[TunnelVisibility.EXPLICIT] == 1
+        assert census.tunnels[TunnelVisibility.IMPLICIT] == 1
+        assert census.tunnels[TunnelVisibility.OPAQUE] == 0
+        assert census.share_of_traces(TunnelVisibility.EXPLICIT) \
+            == pytest.approx(1 / 3)
+
+
+class TestOnSimulatedData:
+    """The taxonomy observed end to end on the paper universe, whose
+    scenario deliberately contains one implicit (65105, no RFC 4950)
+    and one invisible-by-default (65106, no ttl-propagate but Juniper
+    RFC 4950 => opaque) deployment."""
+
+    @pytest.fixture(scope="class")
+    def cycle(self):
+        from repro.sim import ArkSimulator, paper_scenario
+
+        simulator = ArkSimulator(paper_scenario(scale=0.6, seed=11))
+        return simulator, simulator.run_cycle(40)
+
+    def test_all_three_kinds_present(self, cycle):
+        _, data = cycle
+        census = visibility_census(data.traces)
+        assert census.tunnels[TunnelVisibility.EXPLICIT] > 0
+        assert census.tunnels[TunnelVisibility.IMPLICIT] > 0
+        assert census.tunnels[TunnelVisibility.OPAQUE] > 0
+
+    def test_implicit_tunnels_map_to_no_rfc4950_as(self, cycle):
+        simulator, data = cycle
+        ip2as = simulator.internet.ip2as
+        implicit_ases = set()
+        for trace in data.traces:
+            for tunnel in reveal_tunnels(trace):
+                if tunnel.visibility is TunnelVisibility.IMPLICIT:
+                    address = trace.hops[tunnel.start_index].address
+                    implicit_ases.add(ip2as.lookup_single(address))
+        assert implicit_ases == {65105}
+
+    def test_opaque_tunnels_map_to_no_propagate_as(self, cycle):
+        simulator, data = cycle
+        ip2as = simulator.internet.ip2as
+        opaque_ases = set()
+        for trace in data.traces:
+            for tunnel in reveal_tunnels(trace):
+                if tunnel.visibility is TunnelVisibility.OPAQUE:
+                    address = trace.hops[tunnel.start_index].address
+                    opaque_ases.add(ip2as.lookup_single(address))
+        assert opaque_ases == {65106}
+
+    def test_opaque_length_close_to_truth(self, cycle):
+        """The LSE-TTL deficit approximates the hidden LSR count."""
+        simulator, data = cycle
+        for trace in data.traces:
+            for tunnel in reveal_tunnels(trace):
+                if tunnel.visibility is TunnelVisibility.OPAQUE:
+                    assert 1 <= tunnel.inferred_length <= 12

@@ -1,0 +1,79 @@
+"""Consistency checks between the documentation and the code.
+
+DESIGN.md promises an implementation and a benchmark for every paper
+artifact; these tests keep those promises honest as the repository
+evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import ALL_ARTIFACTS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    def test_design_lists_every_artifact(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        for artifact in ALL_ARTIFACTS:
+            token = artifact.replace("fig", "Fig ").replace(
+                "table", "Table ")
+            assert token.rstrip("ab") in design or artifact in design, \
+                artifact
+
+    def test_experiments_covers_every_artifact(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text(
+            encoding="utf-8")
+        for artifact in ("Fig 5a", "Fig 5b", "Table 1", "Fig 6",
+                         "Fig 7", "Fig 8", "Fig 9", "Fig 13",
+                         "Fig 16", "Fig 17", "Table 2"):
+            assert artifact in experiments, artifact
+
+    def test_readme_examples_exist(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for line in readme.splitlines():
+            if "`examples/" in line:
+                name = line.split("`examples/")[1].split("`")[0]
+                assert (REPO / "examples" / name).exists(), name
+
+    def test_every_paper_bench_exists(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("test_*.py")}
+        expected = {
+            "test_fig5_deployment.py", "test_table1_filtering.py",
+            "test_fig6_persistence.py", "test_fig7_length.py",
+            "test_fig8_width.py", "test_fig9_symmetry.py",
+            "test_fig10_vodafone.py", "test_fig11_att.py",
+            "test_fig12_tata.py", "test_fig13_tata_split.py",
+            "test_fig14_ntt.py", "test_fig15_level3.py",
+            "test_fig16_level3_april.py", "test_fig17_label_dynamics.py",
+            "test_table2_ip_stats.py", "test_validation_study.py",
+            "test_ablations.py", "test_lpr_throughput.py",
+        }
+        assert expected <= benches
+
+
+class TestPackaging:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "simulate" in completed.stdout
+        assert "classify" in completed.stdout
+
+    def test_public_api_importable(self):
+        from repro import StopReason, Trace, TraceHop  # noqa: F401
+        from repro.analysis import run_longitudinal_study  # noqa: F401
+        from repro.core import LprPipeline, classify  # noqa: F401
+        from repro.mpls import LdpEngine, RsvpTeEngine  # noqa: F401
+        from repro.sim import ArkSimulator, paper_scenario  # noqa: F401
+        from repro.warts import read_archive  # noqa: F401

@@ -1,0 +1,66 @@
+"""Tests for the experiment registry (artifact regeneration paths)."""
+
+import pytest
+
+from repro.analysis import (
+    ALL_ARTIFACTS,
+    FOCUS_ASES,
+    FigureResult,
+    TableResult,
+    regenerate,
+    run_longitudinal_study,
+)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    """A truncated study, just big enough for every artifact to run."""
+    return run_longitudinal_study(scale=0.5, seed=77, cycles=12)
+
+
+class TestRegistry:
+    def test_all_artifacts_enumerated(self):
+        assert len(ALL_ARTIFACTS) == 16
+        assert set(ALL_ARTIFACTS) >= {
+            "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "table1", "table2",
+        }
+
+    def test_unknown_artifact_raises(self, small_study):
+        with pytest.raises(KeyError, match="fig99"):
+            regenerate(small_study, "fig99")
+
+    def test_focus_as_registry(self):
+        assert set(FOCUS_ASES) == {1273, 7018, 6453, 2914, 3356}
+
+    @pytest.mark.parametrize("artifact", [
+        "fig5a", "fig5b", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    ])
+    def test_figures_regenerate(self, small_study, artifact):
+        result = regenerate(small_study, artifact)
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == artifact
+        assert result.text
+        assert result.data
+
+    @pytest.mark.parametrize("artifact", ["table1", "table2"])
+    def test_tables_regenerate(self, small_study, artifact):
+        result = regenerate(small_study, artifact)
+        assert isinstance(result, TableResult)
+        assert result.table_id == artifact
+        assert result.text
+
+    def test_fig17_campaign(self, small_study):
+        result = regenerate(small_study, "fig17")
+        assert result.data["summaries"]
+        assert result.data["ranked"]
+
+    def test_study_shape(self, small_study):
+        assert len(small_study.longitudinal) == 12
+        assert small_study.last_cycle.cycle == 12
+
+    def test_str_render(self, small_study):
+        text = str(regenerate(small_study, "table1"))
+        assert text.startswith("== table1 ==")

@@ -1,0 +1,192 @@
+"""End-to-end integration tests: ground truth vs LPR's verdicts.
+
+These build single-purpose universes where the *configured* MPLS design
+is known, run the full measurement + classification stack, and assert
+LPR recovers the truth — the lab validation the paper describes in §3.
+"""
+
+import pytest
+
+from repro.bgp.asgraph import Tier
+from repro.core import LprPipeline, TunnelClass, MonoFecSubclass
+from repro.core.alias import infer_aliases, router_level_iotps
+from repro.core.classification import classify
+from repro.core.extraction import extract_all
+from repro.sim import ArkSimulator, AsSpec, MplsPolicy, Scenario, \
+    UniverseSpec
+
+ISP = 64800
+
+
+def isp_universe(vendor="cisco", ecmp=1, parallel=0.0, routers=18,
+                 seed=5):
+    ases = [
+        AsSpec(ISP, "ISP", Tier.TIER1, router_count=routers,
+               border_count=6, vendor=vendor, ecmp_breadth=ecmp,
+               parallel_link_fraction=parallel),
+        AsSpec(64801, "ProbingWest", Tier.TRANSIT, router_count=4,
+               border_count=2, prefix_count=1),
+        AsSpec(64802, "OtherTransit", Tier.TRANSIT, router_count=4,
+               border_count=2, prefix_count=2),
+        AsSpec(64803, "ProbingEast", Tier.TRANSIT, router_count=4,
+               border_count=2, prefix_count=1),
+    ]
+    c2p = [(64801, ISP)] * 2 + [(64802, ISP)] * 2 + [(64803, ISP)] * 2
+    for offset in range(8):
+        asn = 64810 + offset
+        ases.append(AsSpec(asn, f"Stub{offset}", Tier.STUB,
+                           router_count=3, border_count=1,
+                           prefix_count=3))
+        c2p.append((asn, ISP if offset % 2 else 64802))
+    return UniverseSpec(ases=ases, c2p_edges=c2p, p2p_edges=[],
+                        monitor_ases=[64801, 64803], seed=seed)
+
+
+def run_design(policy, cycles=2, dynamic=False, **universe_kwargs):
+    scenario = Scenario(
+        universe=isp_universe(**universe_kwargs),
+        planner=lambda cycle: {ISP: policy},
+        cycles=3,
+    )
+    simulator = ArkSimulator(scenario, monitors_per_as=4)
+    pipeline = LprPipeline(simulator.internet.ip2as)
+    result = pipeline.process_cycle(simulator.run_cycle(cycles))
+    return simulator, result
+
+
+class TestGroundTruthRecovery:
+    def test_pure_ldp_no_ecmp_is_mono_lsp(self):
+        _, result = run_design(MplsPolicy(enabled=True, ldp=True),
+                               ecmp=1)
+        classification = result.for_as(ISP)
+        assert len(classification) > 0
+        shares = classification.shares()
+        assert shares[TunnelClass.MONO_LSP] >= 0.8
+        assert shares[TunnelClass.MULTI_FEC] == 0.0
+
+    def test_ldp_with_parallel_links_is_mono_fec_parallel(self):
+        _, result = run_design(MplsPolicy(enabled=True, ldp=True),
+                               ecmp=1, parallel=0.9)
+        classification = result.for_as(ISP)
+        mono_fec = classification.of_class(TunnelClass.MONO_FEC)
+        assert mono_fec
+        assert all(v.subclass is MonoFecSubclass.PARALLEL_LINKS
+                   for v in mono_fec)
+        assert classification.shares()[TunnelClass.MULTI_FEC] == 0.0
+
+    def test_ldp_with_ecmp_mesh_shows_mono_fec(self):
+        _, result = run_design(MplsPolicy(enabled=True, ldp=True),
+                               ecmp=3, routers=24, seed=9)
+        classification = result.for_as(ISP)
+        assert classification.shares()[TunnelClass.MONO_FEC] > 0.0
+        assert classification.shares()[TunnelClass.MULTI_FEC] == 0.0
+
+    def test_rsvp_te_mesh_shows_multi_fec(self):
+        policy = MplsPolicy(enabled=True, ldp=True,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=3)
+        _, result = run_design(policy, ecmp=1)
+        classification = result.for_as(ISP)
+        assert classification.shares()[TunnelClass.MULTI_FEC] > 0.3
+
+    def test_mpls_disabled_invisible(self):
+        _, result = run_design(MplsPolicy(enabled=False))
+        assert len(result.for_as(ISP)) == 0
+
+    def test_no_ttl_propagate_invisible(self):
+        _, result = run_design(MplsPolicy(enabled=True, ldp=True,
+                                          ttl_propagate=False))
+        assert len(result.for_as(ISP)) == 0
+
+    def test_legacy_vendor_invisible_to_lpr(self):
+        """No RFC 4950: implicit tunnels, nothing for LPR to read."""
+        _, result = run_design(MplsPolicy(enabled=True, ldp=True),
+                               vendor="legacy")
+        assert len(result.for_as(ISP)) == 0
+
+    def test_dynamic_te_gets_reinjected(self):
+        policy = MplsPolicy(enabled=True, ldp=False, ldp_internal=False,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=2,
+                            te_reoptimize_per_cycle=True)
+        _, result = run_design(policy)
+        assert ISP in result.filter_stats.reinjected_ases
+        classification = result.for_as(ISP)
+        assert len(classification) > 0
+        assert all(v.dynamic for v in classification.verdicts.values())
+
+
+class TestLabelsAreConsistent:
+    def test_common_ip_single_label_under_ldp(self):
+        """The LDP invariant LPR relies on: one label per (LSR, FEC)."""
+        simulator, result = run_design(
+            MplsPolicy(enabled=True, ldp=True), ecmp=3, routers=24)
+        for key, iotp in result.iotps.items():
+            if key[0] != ISP:
+                continue
+            for address in iotp.common_addresses():
+                assert len(iotp.labels_at(address)) == 1
+
+    def test_te_lsps_have_session_scoped_labels(self):
+        policy = MplsPolicy(enabled=True, ldp=False, ldp_internal=False,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=2)
+        simulator, result = run_design(policy)
+        network = simulator.internet.network(ISP)
+        session_labels = {
+            label for session in network.rsvp.sessions
+            for label in session.labels.values()
+        }
+        for key, iotp in result.iotps.items():
+            if key[0] != ISP:
+                continue
+            for lsp in iotp.lsps.values():
+                assert set(lsp.labels) <= session_labels
+
+
+class TestAliasExtensionOnSimulatedData:
+    def test_inferred_aliases_are_true_aliases(self):
+        """Every alias pair inferred from traces must be two interfaces
+        of one simulated router (soundness of the §5 heuristic)."""
+        simulator, result = run_design(
+            MplsPolicy(enabled=True, ldp=True), ecmp=3, routers=24)
+        lsps = [lsp for iotp in result.iotps.values()
+                for lsp in iotp.lsps.values()]
+        resolver = infer_aliases(lsps)
+        owners = {}
+        for network in simulator.internet.networks.values():
+            for address, router_id in \
+                    network.topology.interface_addresses().items():
+                owners[address] = (network.asn, router_id)
+            for links in network.interas.values():
+                for (router, local_addr, _, _, _) in links:
+                    owners[local_addr] = (network.asn, router)
+        for alias_set in resolver.alias_sets():
+            router_ids = {owners[address] for address in alias_set}
+            assert len(router_ids) == 1, sorted(alias_set)
+
+    def test_router_level_grouping_never_increases_iotps(self):
+        simulator, result = run_design(
+            MplsPolicy(enabled=True, ldp=True), ecmp=3, routers=24)
+        lsps = [lsp for iotp in result.iotps.values()
+                for lsp in iotp.lsps.values()]
+        resolver = infer_aliases(lsps)
+        merged = router_level_iotps(result.iotps, resolver)
+        assert len(merged) <= len(result.iotps)
+        before = sum(iotp.width for iotp in result.iotps.values())
+        after = sum(iotp.width for iotp in merged.values())
+        assert after == before  # no branch lost, none invented
+
+
+class TestReproducibility:
+    def test_identical_seeds_identical_results(self):
+        policy = MplsPolicy(enabled=True, ldp=True, te_pair_fraction=0.5,
+                            te_tunnels_per_pair=2)
+        _, first = run_design(policy, ecmp=2)
+        _, second = run_design(policy, ecmp=2)
+        assert first.classification.counts() \
+            == second.classification.counts()
+        assert set(first.iotps) == set(second.iotps)
+
+    def test_different_seeds_differ(self):
+        policy = MplsPolicy(enabled=True, ldp=True)
+        _, first = run_design(policy, seed=5)
+        _, second = run_design(policy, seed=6)
+        assert set(first.iotps) != set(second.iotps)

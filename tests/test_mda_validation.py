@@ -1,0 +1,136 @@
+"""Tests for MDA probing and the §5 LPR-vs-MDA cross-validation."""
+
+import pytest
+
+from repro.core import LprPipeline, TunnelClass
+from repro.core.validation import validate_classification
+from repro.sim import ArkSimulator, MplsPolicy, Scenario
+from repro.sim.dataplane import DataPlane
+from repro.sim.mda import MdaProber, probes_to_rule_out
+from repro.sim.monitors import build_monitors
+
+from test_integration import ISP, isp_universe
+
+
+class TestStoppingRule:
+    def test_published_sequence(self):
+        """The classic 95%-confidence MDA probe counts."""
+        assert [probes_to_rule_out(k) for k in (1, 2, 3, 4, 5)] \
+            == [6, 11, 16, 21, 27]
+
+    def test_stricter_alpha_needs_more_probes(self):
+        assert probes_to_rule_out(1, alpha=0.01) \
+            > probes_to_rule_out(1, alpha=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probes_to_rule_out(0)
+        with pytest.raises(ValueError):
+            probes_to_rule_out(1, alpha=0.0)
+
+
+def run_isp(policy, **universe_kwargs):
+    scenario = Scenario(
+        universe=isp_universe(**universe_kwargs),
+        planner=lambda cycle: {ISP: policy},
+        cycles=3,
+    )
+    simulator = ArkSimulator(scenario, monitors_per_as=4)
+    pipeline = LprPipeline(simulator.internet.ip2as)
+    result = pipeline.process_cycle(simulator.run_cycle(2))
+    return simulator, result
+
+
+class TestMdaProber:
+    def test_single_path_network_discovers_one_path(self):
+        simulator, _ = run_isp(MplsPolicy(enabled=False), ecmp=1)
+        monitor = build_monitors(simulator.internet, per_as=1)[0]
+        prober = MdaProber(DataPlane(simulator.internet), monitor)
+        result = prober.discover(simulator.destinations[0])
+        assert len(result.paths) == 1
+        assert result.max_width == 1
+        # Stopping rule: the discovery probe plus the 6 confirmation
+        # probes the k=1 -> k=2 hypothesis test requires.
+        assert result.flows_used == 7
+
+    def test_ecmp_network_discovers_multiple_paths(self):
+        simulator, _ = run_isp(MplsPolicy(enabled=False), ecmp=3,
+                               routers=24)
+        monitor = build_monitors(simulator.internet, per_as=1)[0]
+        prober = MdaProber(DataPlane(simulator.internet), monitor)
+        widths = []
+        for dst in simulator.destinations[:10]:
+            result = prober.discover(dst)
+            widths.append(len(result.paths))
+        assert max(widths) >= 2
+
+    def test_unreachable_destination(self):
+        simulator, _ = run_isp(MplsPolicy(enabled=False))
+        monitor = build_monitors(simulator.internet, per_as=1)[0]
+        prober = MdaProber(DataPlane(simulator.internet), monitor)
+        result = prober.discover(0x7F000001)
+        assert result.paths == set()
+
+    def test_flow_budget_respected(self):
+        simulator, _ = run_isp(MplsPolicy(enabled=False), ecmp=3,
+                               routers=24)
+        monitor = build_monitors(simulator.internet, per_as=1)[0]
+        prober = MdaProber(DataPlane(simulator.internet), monitor,
+                           max_flows=4)
+        result = prober.discover(simulator.destinations[0])
+        assert result.flows_used <= 4
+
+    def test_width_between_projects_paths(self):
+        from repro.sim.mda import MdaResult
+
+        result = MdaResult(dst=1)
+        result.paths = {(1, 10, 20, 99), (1, 11, 20, 99), (1, 10, 21, 5)}
+        assert result.width_between({10, 11, 20}) == 3
+        assert result.width_between({20}) == 1
+        assert result.width_between({12345}) == 0
+
+
+class TestCrossValidation:
+    def _validate(self, policy, **universe_kwargs):
+        simulator, result = run_isp(policy, **universe_kwargs)
+        monitors = {m.name: m
+                    for m in build_monitors(simulator.internet,
+                                            per_as=4)}
+        report = validate_classification(
+            DataPlane(simulator.internet), monitors,
+            result.iotps, result.classification,
+        )
+        return result, report
+
+    def test_mono_fec_visible_to_mda(self):
+        """LDP ECMP diversity responds to flow variation (§5 claim 1)."""
+        result, report = self._validate(
+            MplsPolicy(enabled=True, ldp=True), ecmp=3, routers=24)
+        checked = [v for v in report.checked
+                   if v.tunnel_class is TunnelClass.MONO_FEC]
+        assert checked
+        assert report.agreement_rate(TunnelClass.MONO_FEC) >= 0.75
+
+    def test_multi_fec_invisible_to_mda(self):
+        """TE diversity does not respond to flow variation (claim 2)."""
+        policy = MplsPolicy(enabled=True, ldp=False, ldp_internal=False,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=3)
+        result, report = self._validate(policy, ecmp=1)
+        checked = [v for v in report.checked
+                   if v.tunnel_class is TunnelClass.MULTI_FEC]
+        assert checked
+        assert report.agreement_rate(TunnelClass.MULTI_FEC) >= 0.75
+
+    def test_report_counts(self):
+        result, report = self._validate(
+            MplsPolicy(enabled=True, ldp=True), ecmp=3, routers=24)
+        counts = report.counts()
+        for agreeing, total in counts.values():
+            assert 0 <= agreeing <= total
+        assert len(report) == sum(t for _, t in counts.values())
+
+    def test_mono_lsp_not_checked(self):
+        result, report = self._validate(
+            MplsPolicy(enabled=True, ldp=True), ecmp=1)
+        assert all(v.tunnel_class is not TunnelClass.MONO_LSP
+                   for v in report.checked)

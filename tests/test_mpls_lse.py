@@ -1,0 +1,131 @@
+"""Unit tests for the MPLS label stack entry wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpls.lse import (
+    LabelError,
+    LabelStack,
+    LabelStackEntry,
+    MAX_LABEL,
+    IMPLICIT_NULL,
+    RESERVED_LABEL_MAX,
+)
+
+labels = st.integers(min_value=0, max_value=MAX_LABEL)
+tcs = st.integers(min_value=0, max_value=7)
+ttls = st.integers(min_value=0, max_value=255)
+
+
+class TestLabelStackEntry:
+    def test_encode_layout(self):
+        entry = LabelStackEntry(label=1, tc=1, bottom=True, ttl=1)
+        # label 1 -> bits 31..12, tc 1 -> bits 11..9, S -> bit 8, ttl 1.
+        assert entry.encode() == (1 << 12) | (1 << 9) | (1 << 8) | 1
+
+    @given(labels, tcs, st.booleans(), ttls)
+    def test_encode_decode_round_trip(self, label, tc, bottom, ttl):
+        entry = LabelStackEntry(label, tc, bottom, ttl)
+        assert LabelStackEntry.decode(entry.encode()) == entry
+
+    @given(labels, tcs, st.booleans(), ttls)
+    def test_bytes_round_trip(self, label, tc, bottom, ttl):
+        entry = LabelStackEntry(label, tc, bottom, ttl)
+        data = entry.to_bytes()
+        assert len(data) == 4
+        assert LabelStackEntry.from_bytes(data) == entry
+
+    @pytest.mark.parametrize("kwargs", [
+        {"label": MAX_LABEL + 1},
+        {"label": -1},
+        {"label": 0, "tc": 8},
+        {"label": 0, "ttl": 256},
+    ])
+    def test_field_validation(self, kwargs):
+        with pytest.raises(LabelError):
+            LabelStackEntry(**kwargs)
+
+    def test_reserved_detection(self):
+        assert LabelStackEntry(IMPLICIT_NULL).is_reserved
+        assert LabelStackEntry(RESERVED_LABEL_MAX).is_reserved
+        assert not LabelStackEntry(RESERVED_LABEL_MAX + 1).is_reserved
+
+    def test_replace(self):
+        entry = LabelStackEntry(100, ttl=64)
+        changed = entry.replace(ttl=63)
+        assert changed.ttl == 63 and changed.label == 100
+        assert entry.ttl == 64  # original untouched
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(LabelError):
+            LabelStackEntry.from_bytes(b"\x00\x00\x00")
+
+
+class TestLabelStack:
+    def test_bottom_bit_maintained(self):
+        stack = LabelStack.from_labels([100, 200])
+        assert not stack[0].bottom
+        assert stack[1].bottom
+
+    def test_push_clears_previous_bottom(self):
+        stack = LabelStack.from_labels([100])
+        assert stack[0].bottom
+        stack.push(LabelStackEntry(200))
+        assert stack.labels() == (200, 100)
+        assert not stack[0].bottom
+        assert stack[1].bottom
+
+    def test_pop_restores_bottom(self):
+        stack = LabelStack.from_labels([100, 200])
+        popped = stack.pop()
+        assert popped.label == 100
+        assert stack[0].bottom
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(LabelError):
+            LabelStack().pop()
+
+    def test_swap_keeps_ttl(self):
+        stack = LabelStack.from_labels([100], ttl=42)
+        stack.swap(900)
+        assert stack.top.label == 900
+        assert stack.top.ttl == 42
+
+    def test_swap_empty_raises(self):
+        with pytest.raises(LabelError):
+            LabelStack().swap(1)
+
+    def test_decrement_ttl(self):
+        stack = LabelStack.from_labels([100], ttl=2)
+        assert stack.decrement_ttl() == 1
+        assert stack.decrement_ttl() == 0
+        with pytest.raises(LabelError):
+            stack.decrement_ttl()
+
+    def test_top_empty_raises(self):
+        with pytest.raises(LabelError):
+            LabelStack().top
+
+    @given(st.lists(labels, min_size=1, max_size=5))
+    def test_wire_round_trip(self, values):
+        stack = LabelStack.from_labels(values)
+        data = stack.to_bytes()
+        assert len(data) == 4 * len(values)
+        assert LabelStack.from_bytes(data) == stack
+
+    def test_from_bytes_rejects_bad_s_bit(self):
+        # Two entries both claiming bottom-of-stack.
+        first = LabelStackEntry(1, bottom=True).to_bytes()
+        second = LabelStackEntry(2, bottom=True).to_bytes()
+        with pytest.raises(LabelError):
+            LabelStack.from_bytes(first + second)
+
+    def test_from_bytes_rejects_misaligned(self):
+        with pytest.raises(LabelError):
+            LabelStack.from_bytes(b"\x00" * 5)
+
+    def test_copy_is_independent(self):
+        stack = LabelStack.from_labels([100])
+        clone = stack.copy()
+        clone.swap(200)
+        assert stack.top.label == 100

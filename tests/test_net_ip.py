@@ -1,0 +1,168 @@
+"""Unit tests for IPv4 address and prefix arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    AddressError,
+    MAX_IPV4,
+    Prefix,
+    int_to_ip,
+    ip_to_int,
+    netmask,
+    summarize_range,
+)
+
+
+class TestIpConversion:
+    def test_round_trip_known_values(self):
+        for text, value in [
+            ("0.0.0.0", 0),
+            ("255.255.255.255", MAX_IPV4),
+            ("10.0.0.1", 0x0A000001),
+            ("192.0.2.33", 0xC0000221),
+        ]:
+            assert ip_to_int(text) == value
+            assert int_to_ip(value) == text
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", [
+        "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4", "",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+        with pytest.raises(AddressError):
+            int_to_ip(MAX_IPV4 + 1)
+
+
+class TestNetmask:
+    def test_boundaries(self):
+        assert netmask(0) == 0
+        assert netmask(32) == MAX_IPV4
+        assert netmask(24) == 0xFFFFFF00
+        assert netmask(8) == 0xFF000000
+
+    @pytest.mark.parametrize("bad", [-1, 33])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            netmask(bad)
+
+
+class TestPrefix:
+    def test_parse_and_str_round_trip(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert str(prefix) == "192.0.2.0/24"
+        assert prefix.length == 24
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix(ip_to_int("192.0.2.1"), 24)
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.0")
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert ip_to_int("10.1.2.3") in prefix
+        assert ip_to_int("10.2.0.0") not in prefix
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_first_last_size(self):
+        prefix = Prefix.parse("192.0.2.0/30")
+        assert int_to_ip(prefix.first) == "192.0.2.0"
+        assert int_to_ip(prefix.last) == "192.0.2.3"
+        assert prefix.size == 4
+
+    def test_hosts_skips_network_and_broadcast(self):
+        prefix = Prefix.parse("192.0.2.0/30")
+        hosts = [int_to_ip(h) for h in prefix.hosts()]
+        assert hosts == ["192.0.2.1", "192.0.2.2"]
+
+    def test_hosts_slash31_uses_both(self):
+        prefix = Prefix.parse("192.0.2.0/31")
+        assert len(list(prefix.hosts())) == 2
+
+    def test_hosts_slash32(self):
+        prefix = Prefix.parse("192.0.2.1/32")
+        assert [int_to_ip(h) for h in prefix.hosts()] == ["192.0.2.1"]
+
+    def test_subnets(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        subs = list(prefix.subnets(26))
+        assert [str(s) for s in subs] == [
+            "10.0.0.0/26", "10.0.0.64/26", "10.0.0.128/26", "10.0.0.192/26",
+        ]
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_from_host_masks(self):
+        prefix = Prefix.from_host(ip_to_int("10.1.2.3"), 24)
+        assert str(prefix) == "10.1.2.0/24"
+
+    def test_equality_and_hash(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/8")
+        c = Prefix.parse("10.0.0.0/9")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_ordering(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/9"),
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("10.0.0.0/8"),
+        ]
+        assert [str(p) for p in sorted(prefixes)] == [
+            "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/9",
+        ]
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4),
+           st.integers(min_value=0, max_value=32))
+    def test_from_host_always_contains_host(self, address, length):
+        prefix = Prefix.from_host(address, length)
+        assert address in prefix
+
+
+class TestSummarizeRange:
+    def test_single_block(self):
+        prefixes = summarize_range(ip_to_int("10.0.0.0"),
+                                   ip_to_int("10.0.0.255"))
+        assert [str(p) for p in prefixes] == ["10.0.0.0/24"]
+
+    def test_unaligned_range(self):
+        prefixes = summarize_range(ip_to_int("10.0.0.1"),
+                                   ip_to_int("10.0.0.4"))
+        assert [str(p) for p in prefixes] == [
+            "10.0.0.1/32", "10.0.0.2/31", "10.0.0.4/32",
+        ]
+
+    def test_rejects_empty(self):
+        with pytest.raises(AddressError):
+            summarize_range(2, 1)
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_covers_exactly(self, start):
+        end = start + 137
+        prefixes = summarize_range(start, end)
+        covered = sorted(
+            address for p in prefixes
+            for address in range(p.first, p.last + 1)
+        )
+        assert covered == list(range(start, end + 1))

@@ -1,0 +1,77 @@
+"""Unit tests for the Routeviews-style IP-to-AS mapper."""
+
+import io
+
+import pytest
+
+from repro.net.ip import Prefix, ip_to_int
+from repro.net.ip2as import Ip2AsMapper, UNKNOWN_AS
+
+
+def build_mapper():
+    mapper = Ip2AsMapper()
+    mapper.add(Prefix.parse("10.0.0.0/8"), 65001)
+    mapper.add(Prefix.parse("10.1.0.0/16"), 65002)
+    mapper.add(Prefix.parse("192.0.2.0/24"), 65003)
+    return mapper
+
+
+class TestLookup:
+    def test_longest_match(self):
+        mapper = build_mapper()
+        assert mapper.lookup_str("10.1.2.3") == 65002
+        assert mapper.lookup_str("10.2.0.1") == 65001
+        assert mapper.lookup_str("192.0.2.9") == 65003
+
+    def test_unrouted(self):
+        mapper = build_mapper()
+        assert mapper.lookup_str("8.8.8.8") is None
+        assert mapper.lookup_single(ip_to_int("8.8.8.8")) == UNKNOWN_AS
+
+    def test_moas_merging(self):
+        mapper = Ip2AsMapper()
+        mapper.add(Prefix.parse("10.0.0.0/8"), 65001)
+        mapper.add(Prefix.parse("10.0.0.0/8"), 65005)
+        assert mapper.lookup_str("10.0.0.1") == (65001, 65005)
+        assert mapper.lookup_single(ip_to_int("10.0.0.1")) == 65001
+
+    def test_moas_duplicate_add_stays_single(self):
+        mapper = Ip2AsMapper()
+        mapper.add(Prefix.parse("10.0.0.0/8"), 65001)
+        mapper.add(Prefix.parse("10.0.0.0/8"), 65001)
+        assert mapper.lookup_str("10.0.0.1") == 65001
+
+    def test_moas_tuple_add(self):
+        mapper = Ip2AsMapper()
+        mapper.add(Prefix.parse("10.0.0.0/8"), (65001, 65002))
+        assert mapper.lookup_str("10.0.0.1") == (65001, 65002)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        mapper = build_mapper()
+        mapper.add(Prefix.parse("198.51.100.0/24"), (65010, 65011))
+        buffer = io.StringIO()
+        mapper.dump(buffer)
+        buffer.seek(0)
+        loaded = Ip2AsMapper.load(buffer)
+        assert dict(loaded.items()) == dict(mapper.items())
+
+    def test_load_skips_comments_and_blanks(self):
+        text = "# comment\n\n10.0.0.0\t8\t65001\n"
+        loaded = Ip2AsMapper.load(io.StringIO(text))
+        assert loaded.lookup_str("10.0.0.1") == 65001
+
+    def test_load_parses_moas_underscore(self):
+        loaded = Ip2AsMapper.load(io.StringIO("10.0.0.0\t8\t65001_65002\n"))
+        assert loaded.lookup_str("10.0.0.1") == (65001, 65002)
+
+    def test_load_rejects_bad_field_count(self):
+        with pytest.raises(ValueError, match="line 1"):
+            Ip2AsMapper.load(io.StringIO("10.0.0.0 8\n"))
+
+    def test_from_pairs(self):
+        mapper = Ip2AsMapper.from_pairs([
+            (Prefix.parse("10.0.0.0/8"), 65001),
+        ])
+        assert len(mapper) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for the radix trie longest-prefix-match."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import MAX_IPV4, Prefix, ip_to_int
+from repro.net.radix import RadixTrie, trie_from_pairs
+
+
+def make_trie(entries):
+    return trie_from_pairs(
+        (Prefix.parse(text), value) for text, value in entries
+    )
+
+
+class TestRadixTrie:
+    def test_empty_lookup(self):
+        assert RadixTrie().lookup(ip_to_int("10.0.0.1")) is None
+
+    def test_exact_match(self):
+        trie = make_trie([("192.0.2.0/24", "a")])
+        assert trie.lookup_str("192.0.2.7") == "a"
+        assert trie.lookup_str("192.0.3.7") is None
+
+    def test_longest_prefix_wins(self):
+        trie = make_trie([
+            ("10.0.0.0/8", "coarse"),
+            ("10.1.0.0/16", "mid"),
+            ("10.1.2.0/24", "fine"),
+        ])
+        assert trie.lookup_str("10.1.2.3") == "fine"
+        assert trie.lookup_str("10.1.9.9") == "mid"
+        assert trie.lookup_str("10.9.9.9") == "coarse"
+
+    def test_default_route(self):
+        trie = make_trie([("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten")])
+        assert trie.lookup_str("11.0.0.1") == "default"
+        assert trie.lookup_str("10.0.0.1") == "ten"
+
+    def test_lookup_with_prefix(self):
+        trie = make_trie([("10.0.0.0/8", "x")])
+        match = trie.lookup_with_prefix(ip_to_int("10.1.2.3"))
+        assert match is not None
+        prefix, value = match
+        assert str(prefix) == "10.0.0.0/8"
+        assert value == "x"
+
+    def test_lookup_exact(self):
+        trie = make_trie([("10.0.0.0/8", "x"), ("10.0.0.0/16", "y")])
+        assert trie.lookup_exact(Prefix.parse("10.0.0.0/8")) == "x"
+        assert trie.lookup_exact(Prefix.parse("10.0.0.0/16")) == "y"
+        assert trie.lookup_exact(Prefix.parse("10.0.0.0/12")) is None
+
+    def test_insert_replaces(self):
+        trie = make_trie([("10.0.0.0/8", "old")])
+        trie.insert(Prefix.parse("10.0.0.0/8"), "new")
+        assert trie.lookup_str("10.0.0.1") == "new"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = make_trie([("10.0.0.0/8", "a"), ("10.1.0.0/16", "b")])
+        assert trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert trie.lookup_str("10.1.0.1") == "a"
+        assert len(trie) == 1
+        assert not trie.remove(Prefix.parse("10.1.0.0/16"))
+
+    def test_remove_absent_branch(self):
+        trie = make_trie([("10.0.0.0/8", "a")])
+        assert not trie.remove(Prefix.parse("192.0.2.0/24"))
+
+    def test_host_route(self):
+        trie = make_trie([("10.0.0.0/8", "net"), ("10.0.0.1/32", "host")])
+        assert trie.lookup_str("10.0.0.1") == "host"
+        assert trie.lookup_str("10.0.0.2") == "net"
+
+    def test_items_yields_all(self):
+        entries = [("10.0.0.0/8", 1), ("10.1.0.0/16", 2),
+                   ("192.0.2.0/24", 3)]
+        trie = make_trie(entries)
+        got = {(str(p), v) for p, v in trie.items()}
+        assert got == {(t, v) for t, v in entries}
+
+    def test_len_counts_unique_prefixes(self):
+        trie = make_trie([("10.0.0.0/8", 1), ("10.0.0.0/16", 2)])
+        assert len(trie) == 2
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=MAX_IPV4),
+                  st.integers(min_value=8, max_value=32)),
+        min_size=1, max_size=40,
+    ))
+    def test_matches_linear_scan(self, raw_entries):
+        """Trie LPM agrees with a brute-force longest-match scan."""
+        prefixes = {}
+        for address, length in raw_entries:
+            prefix = Prefix.from_host(address, length)
+            prefixes[prefix] = str(prefix)
+        trie = trie_from_pairs(prefixes.items())
+        probes = [address for address, _ in raw_entries] + [0, MAX_IPV4]
+        for probe in probes:
+            expected = None
+            best_length = -1
+            for prefix, value in prefixes.items():
+                if probe in prefix and prefix.length > best_length:
+                    best_length = prefix.length
+                    expected = value
+            assert trie.lookup(probe) == expected

@@ -1,0 +1,132 @@
+"""Unit tests for the Archipelago-style scheduler and campaigns."""
+
+import pytest
+
+from repro.sim import ArkSimulator, paper_scenario
+from repro.sim.ark import daily_campaign, label_dynamics_campaign
+from repro.sim.config import MplsPolicy
+from repro.sim.scenarios import LEVEL3, LEVEL3_RISE_CYCLE, VODAFONE
+from repro.traces import StopReason
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ArkSimulator(paper_scenario(scale=0.5, seed=3))
+
+
+class TestScenarioPlanning:
+    def test_plan_bounds(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.scenario.plan(0)
+        with pytest.raises(ValueError):
+            simulator.scenario.plan(61)
+
+    def test_monitor_growth(self, simulator):
+        early = simulator.scenario.plan(1)
+        late = simulator.scenario.plan(60)
+        assert late.monitor_fraction > early.monitor_fraction
+        assert late.dest_fraction > early.dest_fraction
+
+    def test_dip_cycles_reduce_coverage(self, simulator):
+        dip = simulator.scenario.plan(23)
+        neighbor = simulator.scenario.plan(24)
+        assert dip.monitor_fraction < neighbor.monitor_fraction
+
+
+class TestAssignments:
+    def test_every_team_covers_every_destination(self, simulator):
+        plan = simulator.scenario.plan(10)
+        pairs = simulator.assignments(10, 1.0, 1.0)
+        team_count = min(simulator.team_count, len(simulator.monitors))
+        dests = {dst for _, dst in pairs}
+        assert len(pairs) == team_count * len(dests)
+
+    def test_fraction_shrinks_coverage(self, simulator):
+        full = simulator.assignments(10, 1.0, 1.0)
+        partial = simulator.assignments(10, 1.0, 0.5)
+        assert len({d for _, d in partial}) < len({d for _, d in full})
+
+    def test_active_sets_are_monotone(self, simulator):
+        small = set(simulator._active_destinations(0.5))
+        large = set(simulator._active_destinations(0.9))
+        assert small <= large
+        small_m = {m.name for m in simulator._active_monitors(0.5)}
+        large_m = {m.name for m in simulator._active_monitors(0.9)}
+        assert small_m <= large_m
+
+    def test_snapshot_churn_limited(self, simulator):
+        base = dict(simulator.assignments(10, 1.0, 1.0, snapshot=0))
+        moved = 0
+        follow = simulator.assignments(10, 1.0, 1.0, snapshot=1)
+        # Compare per (team position): same ordering both calls.
+        base_list = simulator.assignments(10, 1.0, 1.0, snapshot=0)
+        changed = sum(1 for a, b in zip(base_list, follow) if a != b)
+        assert 0 < changed < 0.5 * len(base_list)
+
+
+class TestRunCycle:
+    def test_cycle_data_shape(self, simulator):
+        data = simulator.run_cycle(12)
+        assert data.cycle == 12
+        assert len(data.snapshots) == simulator.snapshots_per_cycle
+        assert data.traces is data.snapshots[0]
+        assert len(list(data.all_traces())) \
+            == sum(len(s) for s in data.snapshots)
+
+    def test_timestamps_increase_per_snapshot(self, simulator):
+        data = simulator.run_cycle(12)
+        stamps = [snapshot[0].timestamp for snapshot in data.snapshots]
+        assert stamps == sorted(stamps)
+        assert stamps[0] < stamps[1]
+
+    def test_most_traces_complete(self, simulator):
+        data = simulator.run_cycle(12)
+        done = sum(1 for t in data.traces
+                   if t.stop_reason is StopReason.COMPLETED)
+        assert done > 0.8 * len(data.traces)
+
+    def test_run_yields_requested_cycles(self, simulator):
+        cycles = [data.cycle for data in simulator.run(3, 5)]
+        assert cycles == [3, 4, 5]
+
+
+class TestCampaigns:
+    def test_daily_campaign_ramp(self, simulator):
+        policy = MplsPolicy(enabled=True, ldp=True)
+        days = daily_campaign(simulator, base_cycle=LEVEL3_RISE_CYCLE,
+                              ramp_asn=LEVEL3, ramp_policy=policy,
+                              days=10, ramp_start_day=6)
+        assert len(days) == 10
+        ip2as = simulator.internet.ip2as
+
+        def level3_labelled(traces):
+            return sum(
+                1 for trace in traces for hop in trace.hops
+                if hop.has_labels and hop.address is not None
+                and ip2as.lookup_single(hop.address) == LEVEL3
+            )
+
+        before = sum(level3_labelled(day) for day in days[:5])
+        after = sum(level3_labelled(day) for day in days[5:])
+        assert before == 0
+        assert after > 0
+
+    def test_label_dynamics_campaign(self, simulator):
+        traces = label_dynamics_campaign(
+            simulator, cycle=45, target_asn=VODAFONE, probes=40,
+            probe_interval_s=120, reoptimize_interval_s=1200,
+        )
+        assert len(traces) == 40
+        # Single flow: timestamps spaced by the probe interval.
+        assert traces[1].timestamp - traces[0].timestamp == 120.0
+        # The campaign's labels change over time at some Vodafone LSR.
+        ip2as = simulator.internet.ip2as
+        labels_by_addr = {}
+        for trace in traces:
+            for hop in trace.hops:
+                if hop.has_labels and \
+                        ip2as.lookup_single(hop.address) == VODAFONE:
+                    labels_by_addr.setdefault(hop.address, set()) \
+                        .add(hop.labels[0])
+        assert labels_by_addr
+        assert any(len(labels) > 1 for labels in labels_by_addr.values())

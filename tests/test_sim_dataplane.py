@@ -1,0 +1,283 @@
+"""Unit tests for the data plane: forwarding, labels, PHP, visibility."""
+
+import pytest
+
+from repro.mpls.vendor import get_profile
+from repro.net.ip import Prefix
+from repro.sim.config import AsSpec, MplsPolicy, UniverseSpec
+from repro.sim.dataplane import DataPlane, UnreachableError
+from repro.sim.network import Internet
+from repro.bgp.asgraph import Tier
+
+SRC_AS = 65301
+TRANSIT = 65000
+DST_AS = 65201
+OTHER_DST_AS = 65202
+
+
+def linear_universe(transit_vendor="cisco", transit_routers=8,
+                    ecmp=1, multi_link=False):
+    """monitor network -> transit -> two destination stubs.
+
+    With ``multi_link`` the destination stubs connect to the transit at
+    two PoPs each, enabling egress-churn tests.
+    """
+    ases = [
+        AsSpec(TRANSIT, "TR", Tier.TIER1, router_count=transit_routers,
+               border_count=3, vendor=transit_vendor,
+               ecmp_breadth=ecmp),
+        # The source network is transit-tier so its uplink lands on one
+        # of TR's core borders while the destination stubs share TR's
+        # access border — guaranteeing a border-to-border LSP.
+        AsSpec(SRC_AS, "SRC", Tier.TRANSIT, router_count=3,
+               border_count=1, prefix_count=1),
+        AsSpec(DST_AS, "D1", Tier.STUB, router_count=3, border_count=2,
+               prefix_count=2),
+        AsSpec(OTHER_DST_AS, "D2", Tier.STUB, router_count=3,
+               border_count=2, prefix_count=2),
+    ]
+    repeat = 2 if multi_link else 1
+    return UniverseSpec(
+        ases=ases,
+        c2p_edges=[(SRC_AS, TRANSIT)]
+        + [(DST_AS, TRANSIT)] * repeat
+        + [(OTHER_DST_AS, TRANSIT)] * repeat,
+        p2p_edges=[],
+        monitor_ases=[SRC_AS],
+        seed=11,
+    )
+
+
+def build(policy=None, **kwargs):
+    internet = Internet(linear_universe(**kwargs))
+    if policy is not None:
+        internet.network(TRANSIT).apply_policy(policy)
+    return internet
+
+
+def a_destination(internet, asn=DST_AS):
+    for address, owner in internet.destination_addresses():
+        if owner == asn:
+            return address
+    raise AssertionError(f"no destination in AS{asn}")
+
+
+def path_for(internet, dst):
+    src_net = internet.network(SRC_AS)
+    dataplane = DataPlane(internet)
+    return dataplane.forward_path(SRC_AS, 1, 99, dst)
+
+
+class TestPlainForwarding:
+    def test_path_reaches_destination(self):
+        internet = build()
+        dst = a_destination(internet)
+        hops = path_for(internet, dst)
+        assert hops[-1].address == dst
+        assert hops[-1].router_id == -1
+
+    def test_no_labels_without_mpls(self):
+        internet = build()
+        hops = path_for(internet, a_destination(internet))
+        assert all(not hop.labels for hop in hops)
+
+    def test_as_sequence_is_bgp_path(self):
+        internet = build()
+        hops = path_for(internet, a_destination(internet))
+        asns = []
+        for hop in hops:
+            if not asns or asns[-1] != hop.asn:
+                asns.append(hop.asn)
+        assert asns == [SRC_AS, TRANSIT, DST_AS]
+
+    def test_unreachable_raises(self):
+        internet = build()
+        with pytest.raises(UnreachableError):
+            DataPlane(internet).forward_path(SRC_AS, 1, 99,
+                                             Prefix.parse(
+                                                 "203.0.113.0/24").first)
+
+    def test_same_flow_same_path(self):
+        internet = build(ecmp=2)
+        dst = a_destination(internet)
+        assert path_for(internet, dst) == path_for(internet, dst)
+
+
+class TestLdpForwarding:
+    def test_transit_shows_labels(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True))
+        hops = path_for(internet, a_destination(internet))
+        labelled = [h for h in hops if h.labels]
+        assert labelled
+        assert all(h.asn == TRANSIT for h in labelled)
+
+    def test_labels_match_ldp_bindings(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True))
+        network = internet.network(TRANSIT)
+        hops = path_for(internet, a_destination(internet))
+        for hop in hops:
+            if hop.labels:
+                lfib = network.labels.lfib(hop.router_id)
+                assert hop.labels[0] in {
+                    lfib.label_for(fec)
+                    for fec in network.ldp.established_fecs
+                }
+
+    def test_php_hides_egress_label(self):
+        """The hop after the labelled run (the egress LER) is unlabeled,
+        and it is a border router of the transit AS."""
+        internet = build(MplsPolicy(enabled=True, ldp=True))
+        hops = path_for(internet, a_destination(internet))
+        last_labelled = max(
+            index for index, hop in enumerate(hops) if hop.labels)
+        exit_hop = hops[last_labelled + 1]
+        assert exit_hop.asn == TRANSIT
+        assert not exit_hop.labels
+        network = internet.network(TRANSIT)
+        assert network.topology.routers[exit_hop.router_id].is_border
+
+    def test_pair_gating_disables_tunnel(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True,
+                                    mpls_pair_fraction=0.0))
+        hops = path_for(internet, a_destination(internet))
+        assert all(not hop.labels for hop in hops)
+
+    def test_vendor_label_range(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True),
+                         transit_vendor="juniper")
+        profile = get_profile("juniper")
+        hops = path_for(internet, a_destination(internet))
+        for hop in hops:
+            if hop.labels:
+                assert profile.label_min <= hop.labels[0] \
+                    <= profile.label_max
+
+
+class TestTeForwarding:
+    def test_te_labels_differ_from_ldp(self):
+        policy = MplsPolicy(enabled=True, ldp=True,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=2)
+        internet = build(policy)
+        network = internet.network(TRANSIT)
+        hops = path_for(internet, a_destination(internet))
+        labelled = [h for h in hops if h.labels]
+        assert labelled
+        session_labels = {
+            label for session in network.rsvp.sessions
+            for label in session.labels.values()
+        }
+        assert all(h.labels[0] in session_labels for h in labelled)
+
+    def test_destinations_spread_over_tunnels(self):
+        policy = MplsPolicy(enabled=True, ldp=False,
+                            te_pair_fraction=1.0, te_tunnels_per_pair=4)
+        internet = build(policy)
+        network = internet.network(TRANSIT)
+        picked = set()
+        for prefix_index in range(64):
+            prefix = Prefix(0x32000000 + (prefix_index << 8), 24)
+            session = network.te_tunnel_for(0, 1, prefix)
+            if session is not None:
+                picked.add(session.fec.tunnel_id)
+        assert len(picked) >= 2
+
+
+class TestVisibilityModes:
+    def test_no_ttl_propagate_compresses_to_opaque_hop(self):
+        """Without ttl-propagate the LSRs vanish; with RFC 4950 the one
+        revealing hop quotes an LSE whose TTL betrays the hidden length
+        (the *opaque* tunnel of the revelation taxonomy)."""
+        policy = MplsPolicy(enabled=True, ldp=True, ttl_propagate=False)
+        internet = build(policy, transit_routers=10)
+        transparent = path_for(internet, a_destination(internet))
+        internet2 = build(MplsPolicy(enabled=True, ldp=True),
+                          transit_routers=10)
+        explicit = path_for(internet2, a_destination(internet2))
+        assert len(transparent) < len(explicit)
+        labelled = [hop for hop in transparent if hop.labels]
+        assert len(labelled) <= 1
+        for hop in labelled:
+            assert hop.lse_ttl > 200  # near-255: never propagated
+
+    def test_no_ttl_propagate_no_rfc4950_fully_invisible(self):
+        policy = MplsPolicy(enabled=True, ldp=True, ttl_propagate=False)
+        internet = build(policy, transit_routers=10,
+                         transit_vendor="legacy")
+        hops = path_for(internet, a_destination(internet))
+        assert all(not hop.quotes_labels or not hop.labels
+                   for hop in hops)
+
+    def test_legacy_vendor_no_rfc4950(self):
+        """Implicit tunnels: LSRs visible, labels never quoted."""
+        internet = build(MplsPolicy(enabled=True, ldp=True),
+                         transit_vendor="legacy")
+        hops = path_for(internet, a_destination(internet))
+        transit_hops = [h for h in hops if h.asn == TRANSIT]
+        assert transit_hops
+        assert all(not h.quotes_labels for h in transit_hops)
+
+
+class TestRoutingNoise:
+    def test_egress_churn_changes_some_paths(self):
+        internet = build(multi_link=True)
+        dst_addrs = [address for address, _ in
+                     internet.destination_addresses()][:8]
+        calm = DataPlane(internet, era=0, egress_noise=0.0)
+        base = [calm.forward_path(SRC_AS, 1, 99, dst)
+                for dst in dst_addrs]
+        differences = 0
+        for era in range(1, 6):
+            stormy = DataPlane(internet, era=era, egress_noise=0.3)
+            differences += sum(
+                1 for dst, reference in zip(dst_addrs, base)
+                if stormy.forward_path(SRC_AS, 1, 99, dst) != reference
+            )
+        assert differences > 0
+
+    def test_egress_churn_noop_on_single_links(self):
+        internet = build(multi_link=False)
+        dst = a_destination(internet)
+        calm = DataPlane(internet, era=0, egress_noise=0.0)
+        stormy = DataPlane(internet, era=5, egress_noise=0.9)
+        assert calm.forward_path(SRC_AS, 1, 99, dst) \
+            == stormy.forward_path(SRC_AS, 1, 99, dst)
+
+    def test_invalid_egress_noise(self):
+        internet = build()
+        with pytest.raises(ValueError):
+            DataPlane(internet, egress_noise=1.0)
+
+    def test_flap_reroutes_when_alternative_exists(self):
+        """A flapped link with an equal-cost alternative reroutes; the
+        same flap pattern never disconnects (fallback to intact DAG)."""
+        internet = build(ecmp=2, transit_routers=14)
+        dst_addrs = [address for address, _ in
+                     internet.destination_addresses()][:8]
+        calm = DataPlane(internet, era=0, flap_rate=0.0)
+        base = [calm.forward_path(SRC_AS, 1, 99, dst)
+                for dst in dst_addrs]
+        for era in range(1, 8):
+            stormy = DataPlane(internet, era=era, flap_rate=0.15)
+            for dst in dst_addrs:
+                hops = stormy.forward_path(SRC_AS, 1, 99, dst)
+                assert hops[-1].address == dst  # still delivered
+
+    def test_flap_rate_zero_is_stable(self):
+        internet = build(ecmp=2)
+        dst = a_destination(internet)
+        first = DataPlane(internet, era=1, flap_rate=0.0)
+        second = DataPlane(internet, era=2, flap_rate=0.0)
+        assert first.forward_path(SRC_AS, 1, 99, dst) \
+            == second.forward_path(SRC_AS, 1, 99, dst)
+
+    def test_flapped_links_deterministic_per_era(self):
+        internet = build()
+        first = DataPlane(internet, era=7, flap_rate=0.3)
+        second = DataPlane(internet, era=7, flap_rate=0.3)
+        assert first.flapped_links(TRANSIT) \
+            == second.flapped_links(TRANSIT)
+
+    def test_invalid_flap_rate(self):
+        internet = build()
+        with pytest.raises(ValueError):
+            DataPlane(internet, flap_rate=1.5)

@@ -1,0 +1,105 @@
+"""Tests for internal-destination LDP and miscellaneous data-plane
+behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.sim.config import MplsPolicy
+from repro.sim.dataplane import DataPlane
+from repro.traces import Trace
+
+from test_sim_dataplane import (
+    DST_AS,
+    SRC_AS,
+    TRANSIT,
+    a_destination,
+    build,
+    path_for,
+)
+
+
+class TestInternalLdp:
+    """Cisco's label-everything default: destinations *inside* the MPLS
+    AS also ride LSPs (the TargetAS filter's food, §3.1)."""
+
+    def test_internal_destination_rides_lsp(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True,
+                                    ldp_internal=True),
+                         transit_routers=10)
+        dst = a_destination(internet, asn=TRANSIT)
+        hops = path_for(internet, dst)
+        labelled = [hop for hop in hops if hop.labels]
+        assert labelled
+        assert all(hop.asn == TRANSIT for hop in labelled)
+
+    def test_internal_ldp_off_plain_ip(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True,
+                                    ldp_internal=False),
+                         transit_routers=10)
+        dst = a_destination(internet, asn=TRANSIT)
+        hops = path_for(internet, dst)
+        assert all(not hop.labels for hop in hops)
+
+    def test_transit_traffic_unaffected_by_internal_flag(self):
+        with_flag = build(MplsPolicy(enabled=True, ldp=True,
+                                     ldp_internal=True))
+        without = build(MplsPolicy(enabled=True, ldp=True,
+                                   ldp_internal=False))
+        dst_a = a_destination(with_flag)
+        dst_b = a_destination(without)
+        labels_a = [h.labels for h in path_for(with_flag, dst_a)
+                    if h.labels]
+        labels_b = [h.labels for h in path_for(without, dst_b)
+                    if h.labels]
+        assert labels_a == labels_b
+
+
+class TestQttlEvidence:
+    def test_explicit_tunnel_hops_carry_climbing_qttl(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True),
+                         transit_routers=10)
+        hops = path_for(internet, a_destination(internet))
+        qttls = [hop.quoted_ttl for hop in hops if hop.labels]
+        assert qttls
+        assert qttls[0] == 2
+        assert qttls == sorted(qttls)
+
+    def test_plain_hops_quote_ttl_one(self):
+        internet = build()
+        hops = path_for(internet, a_destination(internet))
+        assert all(hop.quoted_ttl == 1 for hop in hops)
+
+    def test_implicit_tunnel_qttl_without_labels_in_trace(self):
+        from repro.sim.monitors import build_monitors
+        from repro.sim.traceroute import TracerouteEngine
+
+        internet = build(MplsPolicy(enabled=True, ldp=True),
+                         transit_vendor="legacy", transit_routers=10)
+        monitor = build_monitors(internet, per_as=1)[0]
+        engine = TracerouteEngine(DataPlane(internet), loss_rate=0.0)
+        trace = engine.trace(monitor, a_destination(internet))
+        assert not trace.has_mpls  # no RFC 4950
+        qttl_hops = [hop for hop in trace.hops if hop.quoted_ttl >= 2]
+        assert qttl_hops  # but the qTTL signature betrays the tunnel
+
+
+class TestTraceRendering:
+    def test_str_includes_stack_fields(self):
+        from repro.sim.monitors import build_monitors
+        from repro.sim.traceroute import TracerouteEngine
+
+        internet = build(MplsPolicy(enabled=True, ldp=True))
+        monitor = build_monitors(internet, per_as=1)[0]
+        engine = TracerouteEngine(DataPlane(internet), loss_rate=0.0)
+        trace = engine.trace(monitor, a_destination(internet))
+        text = str(trace)
+        assert "traceroute from" in text
+        assert "[MPLS: Label=" in text
+        assert "ms" in text
+
+    def test_str_anonymous_hop(self):
+        from repro.traces import StopReason, TraceHop
+
+        trace = Trace(monitor="m", src=1, dst=2, timestamp=0.0,
+                      stop_reason=StopReason.GAP_LIMIT,
+                      hops=[TraceHop(probe_ttl=1, address=None)])
+        assert "*" in str(trace)

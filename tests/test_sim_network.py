@@ -1,0 +1,262 @@
+"""Unit tests for universe construction (config, topology, addressing)."""
+
+import pytest
+
+from repro.bgp.asgraph import Tier
+from repro.net.ip import Prefix, int_to_ip, ip_to_int
+from repro.sim.config import AsSpec, MplsPolicy, UniverseSpec
+from repro.sim.network import (
+    Internet,
+    destination_prefix,
+    infra_block,
+    loopback_address,
+)
+from repro.sim.scenarios import build_universe, paper_scenario
+
+
+def tiny_universe():
+    ases = [
+        AsSpec(100, "T1", Tier.TIER1, router_count=8, border_count=3,
+               ecmp_breadth=2),
+        AsSpec(200, "T2", Tier.TIER1, router_count=8, border_count=3),
+        AsSpec(300, "TR", Tier.TRANSIT, router_count=6, border_count=2),
+        AsSpec(501, "S1", Tier.STUB, router_count=3, border_count=1,
+               prefix_count=2),
+        AsSpec(502, "S2", Tier.STUB, router_count=3, border_count=1,
+               prefix_count=2),
+    ]
+    return UniverseSpec(
+        ases=ases,
+        c2p_edges=[(300, 100), (300, 200), (501, 300), (502, 200)],
+        p2p_edges=[(100, 200)],
+        monitor_ases=[501],
+        seed=7,
+    )
+
+
+class TestConfigValidation:
+    def test_policy_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MplsPolicy(te_pair_fraction=1.5)
+        with pytest.raises(ValueError):
+            MplsPolicy(mpls_pair_fraction=-0.1)
+
+    def test_policy_negative_tunnels(self):
+        with pytest.raises(ValueError):
+            MplsPolicy(te_tunnels_per_pair=-1)
+
+    def test_uses_te(self):
+        assert MplsPolicy(enabled=True, te_pair_fraction=0.5,
+                          te_tunnels_per_pair=2).uses_te
+        assert not MplsPolicy(enabled=True).uses_te
+        assert not MplsPolicy(enabled=False, te_pair_fraction=0.5,
+                              te_tunnels_per_pair=2).uses_te
+
+    def test_as_spec_bounds(self):
+        with pytest.raises(ValueError):
+            AsSpec(1, router_count=0)
+        with pytest.raises(ValueError):
+            AsSpec(1, router_count=4, border_count=5)
+        with pytest.raises(ValueError):
+            AsSpec(1, ecmp_breadth=0)
+        with pytest.raises(ValueError):
+            AsSpec(1, parallel_link_fraction=1.5)
+
+    def test_universe_validation(self):
+        spec = tiny_universe()
+        spec.validate()
+        spec.c2p_edges.append((999, 100))
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_universe_duplicate_asn(self):
+        spec = tiny_universe()
+        spec.ases.append(AsSpec(100))
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_spec_of(self):
+        spec = tiny_universe()
+        assert spec.spec_of(300).name == "TR"
+        with pytest.raises(KeyError):
+            spec.spec_of(12345)
+
+
+class TestAddressingPlan:
+    def test_blocks_disjoint(self):
+        assert infra_block(0).last < infra_block(1).first
+        assert destination_prefix(0, 255).last \
+            < destination_prefix(1, 0).first
+
+    def test_loopback_inside_infra_block(self):
+        assert loopback_address(3, 7) in infra_block(3)
+
+    def test_every_hop_address_resolves(self):
+        internet = Internet(tiny_universe())
+        for network in internet.networks.values():
+            for address in network.topology.interface_addresses():
+                asn = internet.ip2as.lookup_single(address)
+                assert asn != -1, int_to_ip(address)
+
+    def test_infra_addresses_map_to_owner(self):
+        internet = Internet(tiny_universe())
+        for network in internet.networks.values():
+            if network.spec.foreign_address_fraction:
+                continue
+            for router in network.topology.routers.values():
+                assert internet.ip2as.lookup_single(router.loopback) \
+                    == network.asn
+
+
+class TestInternetConstruction:
+    def test_builds_and_validates(self):
+        internet = Internet(tiny_universe())
+        assert len(internet.networks) == 5
+        internet.graph.validate()
+
+    def test_deterministic(self):
+        first = Internet(tiny_universe())
+        second = Internet(tiny_universe())
+        for asn in first.networks:
+            links_a = first.networks[asn].topology.links
+            links_b = second.networks[asn].topology.links
+            assert {(l.router_a, l.router_b, l.addr_a, l.addr_b, l.cost)
+                    for l in links_a.values()} == \
+                   {(l.router_a, l.router_b, l.addr_a, l.addr_b, l.cost)
+                    for l in links_b.values()}
+
+    def test_interas_links_symmetric(self):
+        internet = Internet(tiny_universe())
+        for asn, network in internet.networks.items():
+            for neighbor, links in network.interas.items():
+                reverse = internet.networks[neighbor].interas[asn]
+                assert len(links) == len(reverse)
+                for (_, local_addr, _, _, remote_addr) in links:
+                    assert any(r[1] == remote_addr and r[4] == local_addr
+                               for r in reverse)
+
+    def test_destination_addresses(self):
+        internet = Internet(tiny_universe())
+        dests = internet.destination_addresses()
+        # 2 prefixes each for 100,200,300(? default 1) ...
+        by_asn = {}
+        for addr, asn in dests:
+            by_asn.setdefault(asn, []).append(addr)
+        assert len(by_asn[501]) == 2
+        assert len(by_asn[502]) == 2
+
+    def test_egress_towards_is_deterministic(self):
+        internet = Internet(tiny_universe())
+        prefix = Prefix.parse("50.3.0.0/24")
+        first = internet.egress_towards(100, 200, prefix)
+        second = internet.egress_towards(100, 200, prefix)
+        assert first == second
+
+    def test_egress_towards_unknown_neighbor(self):
+        internet = Internet(tiny_universe())
+        with pytest.raises(KeyError):
+            internet.egress_towards(501, 502, Prefix.parse("50.0.0.0/24"))
+
+
+class TestMplsLifecycle:
+    def test_enable_builds_control_planes(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(enabled=True, ldp=True))
+        assert network.ldp is not None
+        assert network.ldp.established_fecs
+
+    def test_disable_forgets_labels(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(enabled=True, ldp=True))
+        network.apply_policy(MplsPolicy(enabled=False))
+        assert network.labels is None
+        assert network.ldp is None
+
+    def test_te_sync_grows_and_shrinks(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=1.0, te_tunnels_per_pair=2))
+        full = len(network.rsvp.sessions)
+        assert full == 2 * len(network._te_pair_order)
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=0.5, te_tunnels_per_pair=2))
+        assert len(network.rsvp.sessions) < full
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=0.0, te_tunnels_per_pair=0))
+        assert network.rsvp.sessions == []
+
+    def test_te_pair_set_is_monotone(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=0.3, te_tunnels_per_pair=1))
+        small = set(network._te_active)
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=0.8, te_tunnels_per_pair=1))
+        assert small <= set(network._te_active)
+
+    def test_ldp_pair_active_monotone(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(enabled=True,
+                                        mpls_pair_fraction=0.4))
+        active_small = {
+            (i, e) for i in range(3) for e in range(3) if i != e
+            and network.ldp_pair_active(i, e)
+        }
+        network.apply_policy(MplsPolicy(enabled=True,
+                                        mpls_pair_fraction=0.9))
+        active_big = {
+            (i, e) for i in range(3) for e in range(3) if i != e
+            and network.ldp_pair_active(i, e)
+        }
+        assert active_small <= active_big
+
+    def test_tick_reoptimizes_dynamic_as(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(
+            enabled=True, te_pair_fraction=1.0, te_tunnels_per_pair=1,
+            te_reoptimize_per_cycle=True))
+        before = {s.fec.instance for s in network.rsvp.sessions}
+        network.tick()
+        after = {s.fec.instance for s in network.rsvp.sessions}
+        assert before == {0}
+        assert after == {1}
+
+    def test_churn_advances_allocators(self):
+        internet = Internet(tiny_universe())
+        network = internet.network(100)
+        network.apply_policy(MplsPolicy(enabled=True, ldp=True))
+        allocator = network.labels.allocator(0)
+        before = allocator.allocated_total
+        network.churn_labels(10)
+        assert allocator.allocated_total == before + 10
+
+
+class TestPaperUniverse:
+    def test_builds_and_validates(self):
+        scenario = paper_scenario(scale=0.4)
+        internet = Internet(scenario.universe)
+        internet.graph.validate()
+        for network in internet.networks.values():
+            network.topology.validate()
+
+    def test_foreign_quirk_present(self):
+        scenario = paper_scenario(scale=1.0)
+        internet = Internet(scenario.universe)
+        quirky = internet.network(65103)
+        assert quirky.foreign_links
+        link = quirky.topology.links[quirky.foreign_links[0]]
+        owner = internet.ip2as.lookup_single(link.addr_a)
+        assert owner != 65103
+        assert owner >= 64512
+
+    def test_scale_shrinks_routers(self):
+        big = build_universe(scale=1.0)
+        small = build_universe(scale=0.4)
+        assert small.spec_of(7018).router_count \
+            < big.spec_of(7018).router_count

@@ -1,0 +1,222 @@
+"""Unit tests for the warts-like binary and JSONL trace codecs."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpls.lse import LabelStackEntry
+from repro.net.ip import ip_to_int
+from repro.traces import StopReason, Trace, TraceHop
+from repro.warts.format import (
+    WartsError,
+    WartsReader,
+    WartsWriter,
+    decode_trace,
+    encode_trace,
+    read_archive,
+    write_archive,
+)
+from repro.warts.jsonl import (
+    dump_jsonl,
+    load_jsonl,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def sample_trace(monitor="mon-a", hop_count=3, with_labels=True):
+    hops = []
+    for ttl in range(1, hop_count + 1):
+        stack = ()
+        if with_labels and ttl == 2:
+            stack = (LabelStackEntry(300100, tc=0, bottom=True, ttl=254),)
+        hops.append(TraceHop(
+            probe_ttl=ttl,
+            address=ip_to_int("10.0.0.0") + ttl,
+            rtt_ms=1.5 * ttl,
+            quoted_stack=stack,
+        ))
+    return Trace(
+        monitor=monitor,
+        src=ip_to_int("192.0.2.1"),
+        dst=ip_to_int("198.51.100.7"),
+        timestamp=1234.5,
+        stop_reason=StopReason.COMPLETED,
+        hops=hops,
+    )
+
+
+def anonymous_trace():
+    return Trace(
+        monitor="mon-b",
+        src=1, dst=2, timestamp=0.0,
+        stop_reason=StopReason.GAP_LIMIT,
+        hops=[
+            TraceHop(probe_ttl=1, address=10, rtt_ms=0.4),
+            TraceHop(probe_ttl=2, address=None),
+            TraceHop(probe_ttl=3, address=12, rtt_ms=2.25,
+                     quoted_stack=(
+                         LabelStackEntry(17, bottom=False, ttl=253),
+                         LabelStackEntry(42, bottom=True, ttl=253),
+                     )),
+        ],
+    )
+
+
+def traces_equal(left, right):
+    if (left.monitor, left.src, left.dst, left.stop_reason) != (
+            right.monitor, right.src, right.dst, right.stop_reason):
+        return False
+    if abs(left.timestamp - right.timestamp) > 1e-9:
+        return False
+    if len(left.hops) != len(right.hops):
+        return False
+    for a, b in zip(left.hops, right.hops):
+        if (a.probe_ttl, a.address, a.quoted_stack) != (
+                b.probe_ttl, b.address, b.quoted_stack):
+            return False
+        if abs(a.rtt_ms - b.rtt_ms) > 1e-3:  # f32 storage
+            return False
+    return True
+
+
+class TestBinaryCodec:
+    def test_record_round_trip(self):
+        trace = sample_trace()
+        assert traces_equal(decode_trace(encode_trace(trace)), trace)
+
+    def test_anonymous_and_stack_round_trip(self):
+        trace = anonymous_trace()
+        decoded = decode_trace(encode_trace(trace))
+        assert traces_equal(decoded, trace)
+        assert decoded.hops[1].is_anonymous
+        assert decoded.hops[2].labels == (17, 42)
+
+    def test_stream_round_trip(self):
+        buffer = io.BytesIO()
+        writer = WartsWriter(buffer)
+        originals = [sample_trace(f"mon-{i}") for i in range(5)]
+        writer.write_all(originals)
+        assert writer.written == 5
+        buffer.seek(0)
+        loaded = list(WartsReader(buffer))
+        assert len(loaded) == 5
+        assert all(traces_equal(a, b) for a, b in zip(originals, loaded))
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "cycle.rwts"
+        originals = [sample_trace(), anonymous_trace()]
+        assert write_archive(path, originals) == 2
+        loaded = read_archive(path)
+        assert all(traces_equal(a, b) for a, b in zip(originals, loaded))
+
+    def test_bad_magic(self):
+        with pytest.raises(WartsError, match="magic"):
+            WartsReader(io.BytesIO(b"NOPE\x00\x01"))
+
+    def test_bad_version(self):
+        with pytest.raises(WartsError, match="version"):
+            WartsReader(io.BytesIO(b"RWTS\x00\x63"))
+
+    def test_truncated_body(self):
+        buffer = io.BytesIO()
+        WartsWriter(buffer).write(sample_trace())
+        data = buffer.getvalue()[:-3]
+        with pytest.raises(WartsError, match="truncated"):
+            list(WartsReader(io.BytesIO(data)))
+
+    def test_trailing_bytes_rejected(self):
+        body = encode_trace(sample_trace()) + b"\x00"
+        with pytest.raises(WartsError, match="trailing"):
+            decode_trace(body)
+
+    def test_empty_archive(self):
+        buffer = io.BytesIO()
+        WartsWriter(buffer)
+        buffer.seek(0)
+        assert list(WartsReader(buffer)) == []
+
+    def test_monitor_name_length_limit(self):
+        trace = sample_trace(monitor="x" * 256)
+        with pytest.raises(WartsError, match="monitor"):
+            encode_trace(trace)
+
+
+class TestJsonlCodec:
+    def test_dict_round_trip(self):
+        trace = anonymous_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.hops[1].is_anonymous
+        assert rebuilt.hops[2].quoted_stack == trace.hops[2].quoted_stack
+        assert rebuilt.monitor == trace.monitor
+
+    def test_stream_round_trip(self):
+        originals = [sample_trace(), anonymous_trace()]
+        buffer = io.StringIO()
+        assert dump_jsonl(originals, buffer) == 2
+        buffer.seek(0)
+        loaded = list(load_jsonl(buffer))
+        assert len(loaded) == 2
+        assert loaded[0].dst == originals[0].dst
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        dump_jsonl([sample_trace()], buffer)
+        text = "\n" + buffer.getvalue() + "\n\n"
+        assert len(list(load_jsonl(io.StringIO(text)))) == 1
+
+    def test_bad_line_reports_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(load_jsonl(io.StringIO('{"nope": 1}\n')))
+
+    def test_addresses_rendered_dotted(self):
+        data = trace_to_dict(sample_trace())
+        assert data["src"] == "192.0.2.1"
+        assert data["hops"][0]["address"].startswith("10.0.0.")
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=1, max_value=255),           # probe ttl
+    st.one_of(st.none(), st.integers(min_value=0,
+                                     max_value=0xFFFFFFFF)),  # address
+    st.lists(st.integers(min_value=16, max_value=(1 << 20) - 1),
+             max_size=3),                               # labels
+), max_size=12))
+def test_binary_round_trip_property(hop_specs):
+    hops = []
+    for ttl, address, labels in hop_specs:
+        stack = tuple(
+            LabelStackEntry(label, bottom=(i == len(labels) - 1), ttl=200)
+            for i, label in enumerate(labels)
+        )
+        if address is None:
+            stack = ()  # an anonymous hop quotes nothing and has no RTT
+        hops.append(TraceHop(
+            probe_ttl=ttl, address=address,
+            rtt_ms=0.0 if address is None else 0.5,
+            quoted_stack=stack,
+        ))
+    trace = Trace(monitor="prop", src=1, dst=2, timestamp=9.25,
+                  stop_reason=StopReason.LOOP, hops=hops)
+    assert traces_equal(decode_trace(encode_trace(trace)), trace)
+
+
+class TestGzipArchives:
+    def test_gz_round_trip(self, tmp_path):
+        path = tmp_path / "cycle.rwts.gz"
+        originals = [sample_trace(), anonymous_trace()]
+        assert write_archive(path, originals) == 2
+        loaded = read_archive(path)
+        assert all(traces_equal(a, b)
+                   for a, b in zip(originals, loaded))
+
+    def test_gz_actually_compressed(self, tmp_path):
+        plain = tmp_path / "a.rwts"
+        packed = tmp_path / "a.rwts.gz"
+        traces = [sample_trace(f"mon-{i}") for i in range(50)]
+        write_archive(plain, traces)
+        write_archive(packed, traces)
+        assert packed.stat().st_size < plain.stat().st_size
+        with open(packed, "rb") as stream:
+            assert stream.read(2) == b"\x1f\x8b"  # gzip magic
