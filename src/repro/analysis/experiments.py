@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from ..core.pipeline import LprPipeline, persistence_sweep
+from ..obs import get_logger, span
 from ..sim.ark import ArkSimulator, daily_campaign, \
     label_dynamics_campaign
 from ..sim.config import MplsPolicy
@@ -39,6 +40,8 @@ from .figures import (
     per_as_figure,
 )
 from .tables import TableResult, table1, table2
+
+_log = get_logger(__name__)
 
 FOCUS_ASES = {
     VODAFONE: "Vodafone",
@@ -77,10 +80,14 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     simulator = ArkSimulator(scenario,
                              snapshots_per_cycle=snapshots_per_cycle)
     pipeline = LprPipeline(simulator.internet.ip2as)
-    results = [
-        pipeline.process_cycle(simulator.run_cycle(cycle))
-        for cycle in range(1, (cycles or scenario.cycles) + 1)
-    ]
+    last = cycles or scenario.cycles
+    _log.info("study.start", scale=scale, seed=seed, cycles=last)
+    with span("study.run", cycles=last):
+        results = [
+            pipeline.process_cycle(simulator.run_cycle(cycle))
+            for cycle in range(1, last + 1)
+        ]
+    _log.info("study.done", cycles=len(results))
     return Study(simulator=simulator, pipeline=pipeline,
                  longitudinal=LongitudinalStudy(results))
 
@@ -134,6 +141,11 @@ _PER_AS_FIGURES = {
 
 def regenerate(study: Study, artifact: str) -> ArtifactResult:
     """Rebuild one paper artifact ("fig5a", "table1", ...) from a study."""
+    with span("study.regenerate", artifact=artifact):
+        return _regenerate(study, artifact)
+
+
+def _regenerate(study: Study, artifact: str) -> ArtifactResult:
     longitudinal = study.longitudinal
     if artifact == "fig5a":
         return fig5a(longitudinal)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .analysis import (
     ALL_ARTIFACTS,
@@ -34,8 +34,21 @@ from .core import LprPipeline
 from .core.report import render_report
 from .core.revelation import TunnelVisibility, visibility_census
 from .net.ip2as import Ip2AsMapper
+from .obs import (
+    MonotonicClock,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_registry,
+    get_tracer,
+    set_tracer,
+    write_metrics_json,
+)
 from .sim import ArkSimulator, paper_scenario
+from .traces import Trace
 from .warts import read_archive, write_archive
+
+_log = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="MPLS Under the Microscope — reproduction toolkit",
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="verbosity of structured logs on stderr")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of "
+                             "key=value text")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write a JSON metrics snapshot (and any "
+                             "recorded spans) after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
@@ -82,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--artifacts", nargs="+",
                        default=["table1", "fig7"],
                        choices=list(ALL_ARTIFACTS))
+    study.add_argument("--profile", action="store_true",
+                       help="time every pipeline stage and print a "
+                            "per-stage breakdown table")
     return parser
 
 
@@ -119,18 +145,11 @@ def cmd_show(args) -> int:
 
 
 def cmd_classify(args) -> int:
-    snapshot_paths = sorted(args.cycle_dir.glob("snapshot-*.rwts"))
-    if not snapshot_paths:
-        print(f"no snapshot-*.rwts under {args.cycle_dir}",
-              file=sys.stderr)
+    try:
+        ip2as, snapshots = _load_cycle(args.cycle_dir)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
         return 1
-    pfx2as = args.cycle_dir.parent / "pfx2as.txt"
-    if not pfx2as.exists():
-        print(f"missing {pfx2as}", file=sys.stderr)
-        return 1
-    with open(pfx2as, "r", encoding="utf-8") as stream:
-        ip2as = Ip2AsMapper.load(stream)
-    snapshots = [read_archive(path) for path in snapshot_paths]
 
     pipeline = LprPipeline(
         ip2as, persistence_window=args.persistence_window,
@@ -162,22 +181,26 @@ def cmd_classify(args) -> int:
     if stats.reinjected_ases:
         print(f"dynamic ASes (re-injected): {stats.reinjected_ases}")
     print()
+    counts = result.classification.counts()
+    total = sum(counts.values())
     print(format_table(
         ["class", "IOTPs", "share"],
         [[tunnel_class.value, count,
-          f"{share:.2f}"]
-         for (tunnel_class, count), share in zip(
-             result.classification.counts().items(),
-             result.classification.shares().values())],
+          f"{count / total:.2f}" if total else "0.00"]
+         for tunnel_class, count in counts.items()],
     ))
     return 0
 
 
-def _load_cycle(cycle_dir: Path):
+def _load_cycle(cycle_dir: Path
+                ) -> Tuple[Ip2AsMapper, List[List[Trace]]]:
+    """Read one simulated cycle (pfx2as table + every snapshot)."""
     snapshot_paths = sorted(cycle_dir.glob("snapshot-*.rwts"))
     if not snapshot_paths:
         raise FileNotFoundError(f"no snapshot-*.rwts under {cycle_dir}")
     pfx2as = cycle_dir.parent / "pfx2as.txt"
+    if not pfx2as.exists():
+        raise FileNotFoundError(f"missing {pfx2as}")
     with open(pfx2as, "r", encoding="utf-8") as stream:
         ip2as = Ip2AsMapper.load(stream)
     return ip2as, [read_archive(path) for path in snapshot_paths]
@@ -196,11 +219,29 @@ def cmd_audit(args) -> int:
 
 
 def cmd_study(args) -> int:
+    if args.profile:
+        # Opt into real timing: swap the NullClock tracer for a
+        # monotonic one (results stay deterministic — only the span
+        # durations read the clock, never the pipeline).
+        set_tracer(Tracer(MonotonicClock()))
     study = run_longitudinal_study(scale=args.scale, seed=args.seed,
                                    cycles=args.cycles)
     for artifact in args.artifacts:
         print(f"\n{regenerate(study, artifact)}")
+    if args.profile:
+        print(f"\n{_profile_table(get_tracer())}")
     return 0
+
+
+def _profile_table(tracer: Tracer) -> str:
+    """Per-stage span breakdown of everything the tracer recorded."""
+    rows = [
+        [totals.name, totals.count, f"{totals.total_s:.3f}",
+         f"{totals.self_s:.3f}", f"{totals.mean_ms:.2f}"]
+        for totals in tracer.totals()
+    ]
+    return format_table(
+        ["span", "calls", "total s", "self s", "mean ms"], rows)
 
 
 _COMMANDS = {
@@ -214,7 +255,18 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    configure_logging(level=args.log_level, json_output=args.log_json)
+    code = _COMMANDS[args.command](args)
+    if args.metrics_out is not None:
+        try:
+            write_metrics_json(args.metrics_out,
+                               registry=get_registry(),
+                               trace=get_tracer())
+            _log.info("metrics.written", path=str(args.metrics_out))
+        except OSError as error:
+            print(f"cannot write metrics: {error}", file=sys.stderr)
+            code = code or 1
+    return code
 
 
 if __name__ == "__main__":

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..obs import get_registry, span
 from .model import Iotp, IotpKey
+
+_IOTPS_CLASSIFIED = get_registry().counter(
+    "iotps_classified_total",
+    "IOTPs assigned a class by Algorithm 1")
 
 
 class TunnelClass(Enum):
@@ -178,6 +183,10 @@ def classify(iotps: Mapping[IotpKey, Iotp],
              php_heuristic: bool = False) -> ClassificationResult:
     """Classify every filtered IOTP of a cycle (Algorithm 1)."""
     result = ClassificationResult()
-    for key in sorted(iotps):
-        result.add(classify_iotp(iotps[key], php_heuristic))
+    with span("classification.classify", iotps=len(iotps)):
+        for key in sorted(iotps):
+            verdict = classify_iotp(iotps[key], php_heuristic)
+            result.add(verdict)
+            _IOTPS_CLASSIFIED.inc(
+                tunnel_class=verdict.tunnel_class.value)
     return result

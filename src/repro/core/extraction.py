@@ -23,8 +23,16 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from ..obs import get_registry, span
 from ..traces import Trace, TraceHop
 from .model import Lsp
+
+_LSPS_EXTRACTED = get_registry().counter(
+    "lsps_extracted_total",
+    "Explicit-tunnel LSP observations pulled out of traces")
+_TRACES_SCANNED = get_registry().counter(
+    "extraction_traces_scanned_total",
+    "Traces scanned for explicit label runs")
 
 # An explicit-tunnel LSR quotes the LSE-TTL the dying probe carried:
 # 1 (or 0 on some implementations).  Anything larger means the LSE-TTL
@@ -109,8 +117,15 @@ def _build_lsp(trace: Trace, run_start: int, run_end: int,
 def extract_all(traces: Iterable[Trace]) -> List[Lsp]:
     """Extract every explicit tunnel from a collection of traces."""
     lsps: List[Lsp] = []
-    for trace in traces:
-        lsps.extend(extract_lsps(trace))
+    with span("extraction.extract_all"):
+        count = 0
+        for trace in traces:
+            lsps.extend(extract_lsps(trace))
+            count += 1
+    complete = sum(1 for lsp in lsps if lsp.complete)
+    _TRACES_SCANNED.inc(count)
+    _LSPS_EXTRACTED.inc(complete, complete="true")
+    _LSPS_EXTRACTED.inc(len(lsps) - complete, complete="false")
     return lsps
 
 

@@ -23,7 +23,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..net.ip2as import Ip2AsMapper, UNKNOWN_AS
+from ..obs import get_logger, get_registry, span
 from .model import Iotp, IotpKey, Lsp, LspSignature, group_into_iotps
+
+_log = get_logger(__name__)
+_LSPS_DROPPED = get_registry().counter(
+    "lsps_dropped_total",
+    "LSPs removed by each LPR filter stage")
+_ASES_REINJECTED = get_registry().counter(
+    "ases_reinjected_total",
+    "ASes whose LSP set was re-injected as dynamic by Persistence")
 
 
 @dataclass
@@ -163,22 +172,40 @@ def run_filters(lsps: Sequence[Lsp], ip2as: Ip2AsMapper,
     """
     stats = FilterStats(extracted=len(lsps))
 
-    complete = drop_incomplete(lsps)
-    stats.after_incomplete = len(complete)
+    with span("filters.incomplete"):
+        complete = drop_incomplete(lsps)
+        stats.after_incomplete = len(complete)
+        _LSPS_DROPPED.inc(stats.extracted - stats.after_incomplete,
+                          filter="incomplete")
 
-    mapped = intra_as(complete, ip2as)
-    stats.after_intra_as = len(mapped)
+    with span("filters.intra_as"):
+        mapped = intra_as(complete, ip2as)
+        stats.after_intra_as = len(mapped)
+        _LSPS_DROPPED.inc(stats.after_incomplete - stats.after_intra_as,
+                          filter="intra_as")
 
-    transit = target_as(mapped, ip2as)
-    stats.after_target_as = len(transit)
+    with span("filters.target_as"):
+        transit = target_as(mapped, ip2as)
+        stats.after_target_as = len(transit)
+        _LSPS_DROPPED.inc(stats.after_intra_as - stats.after_target_as,
+                          filter="target_as")
 
-    diverse, _ = transit_diversity(transit, ip2as)
-    stats.after_transit_diversity = len(diverse)
+    with span("filters.transit_diversity"):
+        diverse, _ = transit_diversity(transit, ip2as)
+        stats.after_transit_diversity = len(diverse)
+        _LSPS_DROPPED.inc(
+            stats.after_target_as - stats.after_transit_diversity,
+            filter="transit_diversity")
 
-    outcome = persistence(diverse, follow_up_signatures,
-                          reinject_threshold)
-    stats.after_persistence = len(outcome.kept)
-    stats.reinjected_ases = outcome.dynamic_ases
+    with span("filters.persistence"):
+        outcome = persistence(diverse, follow_up_signatures,
+                              reinject_threshold)
+        stats.after_persistence = len(outcome.kept)
+        stats.reinjected_ases = outcome.dynamic_ases
+        _LSPS_DROPPED.inc(
+            stats.after_transit_diversity - stats.after_persistence,
+            filter="persistence")
+        _ASES_REINJECTED.inc(len(outcome.dynamic_ases))
 
     iotps = group_into_iotps(
         (lsp, ip2as.lookup_single(lsp.dst)) for lsp in outcome.kept
@@ -186,4 +213,7 @@ def run_filters(lsps: Sequence[Lsp], ip2as: Ip2AsMapper,
     for iotp in iotps.values():
         if iotp.asn in outcome.dynamic_ases:
             iotp.dynamic = True
+    _log.debug("filters.done", extracted=stats.extracted,
+               survivors=stats.after_persistence,
+               reinjected=len(outcome.dynamic_ases))
     return iotps, stats

@@ -15,14 +15,19 @@ of window sizes ``j`` over one month of snapshots (the Fig 6 study).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..net.ip2as import Ip2AsMapper
+from ..obs import get_logger, get_registry, span
 from ..traces import Trace
 from .classification import ClassificationResult, classify
 from .extraction import extract_all, traces_with_tunnels
 from .filters import FilterStats, run_filters
 from .model import Iotp, IotpKey, LspSignature
+
+_log = get_logger(__name__)
+_CYCLES_PROCESSED = get_registry().counter(
+    "pipeline_cycles_total", "Measurement cycles run through LPR")
 
 
 @dataclass
@@ -88,6 +93,9 @@ class CycleResult:
     filter_stats: FilterStats
     iotps: Dict[IotpKey, Iotp]
     classification: ClassificationResult
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    """Registry delta recorded while processing this cycle (a
+    :meth:`repro.obs.MetricsRegistry.diff` snapshot; deterministic)."""
 
     def for_as(self, asn: int) -> ClassificationResult:
         """Classification restricted to one AS."""
@@ -126,19 +134,36 @@ class LprPipeline:
         """Run LPR on a cycle given as [primary, follow-up...] traces."""
         if not snapshots:
             raise ValueError("need at least the primary snapshot")
+        registry = get_registry()
+        before = registry.snapshot()
         primary = snapshots[0]
-        lsps = extract_all(primary)
-        iotps, filter_stats = run_filters(
-            lsps, self.ip2as,
-            follow_up_signatures=self.follow_up_signatures(snapshots),
-            reinject_threshold=self.reinject_threshold,
-        )
+        with span("pipeline.cycle", cycle=cycle):
+            with span("pipeline.extract"):
+                lsps = extract_all(primary)
+            with span("pipeline.follow_ups"):
+                follow_ups = self.follow_up_signatures(snapshots)
+            with span("pipeline.filters"):
+                iotps, filter_stats = run_filters(
+                    lsps, self.ip2as,
+                    follow_up_signatures=follow_ups,
+                    reinject_threshold=self.reinject_threshold,
+                )
+            with span("pipeline.dataset_stats"):
+                stats = dataset_stats(primary, self.ip2as)
+            with span("pipeline.classify"):
+                classification = classify(iotps, self.php_heuristic)
+        _CYCLES_PROCESSED.inc()
+        _log.info("pipeline.cycle.done", cycle=cycle,
+                  traces=stats.trace_count,
+                  extracted=filter_stats.extracted,
+                  iotps=len(iotps))
         return CycleResult(
             cycle=cycle,
-            stats=dataset_stats(primary, self.ip2as),
+            stats=stats,
             filter_stats=filter_stats,
             iotps=iotps,
-            classification=classify(iotps, self.php_heuristic),
+            classification=classification,
+            metrics=registry.diff(before, registry.snapshot()),
         )
 
     def process_cycle(self, cycle_data) -> CycleResult:

@@ -1,0 +1,81 @@
+"""Observability: structured logging, span tracing, metrics.
+
+The library instruments its hot path (simulation, extraction, filters,
+classification) against the process-wide singletons exposed here:
+
+* :func:`get_logger` — namespaced structured loggers (silent until
+  :func:`configure_logging` attaches a handler);
+* :func:`span` / :func:`get_tracer` — hierarchical wall-time spans.
+  The default tracer carries a :class:`NullClock`, so the library never
+  reads the wall clock unless a caller opts into profiling
+  (DESIGN §6 determinism contract);
+* :data:`REGISTRY` / :func:`get_registry` — counters, gauges and
+  histograms, all derived deterministically from the data.
+
+Exporters (:mod:`repro.obs.export`) render registry snapshots as JSON
+or Prometheus text.
+"""
+
+from .log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    StructuredLogger,
+    get_logger,
+)
+from .log import configure as configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .trace import (
+    Clock,
+    FakeClock,
+    MonotonicClock,
+    NullClock,
+    Span,
+    SpanTotals,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+)
+from .export import (
+    registry_to_json,
+    snapshot_to_json,
+    to_prometheus,
+    write_metrics_json,
+)
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "StructuredLogger",
+    "get_logger",
+    "configure_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "Clock",
+    "FakeClock",
+    "MonotonicClock",
+    "NullClock",
+    "Span",
+    "SpanTotals",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+    "registry_to_json",
+    "snapshot_to_json",
+    "to_prometheus",
+    "write_metrics_json",
+]

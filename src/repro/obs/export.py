@@ -1,0 +1,107 @@
+"""Exporters for metrics snapshots and trace trees.
+
+Two formats:
+
+* JSON — the registry snapshot dict, verbatim, for ``--metrics-out``
+  and programmatic diffing;
+* Prometheus text exposition (version 0.0.4) — ``# HELP``/``# TYPE``
+  headers plus one sample per label set, histograms expanded into
+  ``_bucket``/``_sum``/``_count`` series with cumulative ``le`` bounds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import Tracer
+
+
+def snapshot_to_json(snapshot: Mapping[str, Any], indent: int = 2) -> str:
+    """Serialize a registry snapshot (or diff/merge result) to JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def registry_to_json(registry: Optional[MetricsRegistry] = None,
+                     indent: int = 2) -> str:
+    """Serialize a whole registry's current state to JSON."""
+    return snapshot_to_json((registry or get_registry()).snapshot(),
+                            indent=indent)
+
+
+def write_metrics_json(path: Union[str, Path],
+                       registry: Optional[MetricsRegistry] = None,
+                       trace: Optional[Tracer] = None) -> None:
+    """Write ``{"metrics": ..., "spans": ...}`` to ``path``.
+
+    ``spans`` is included only when a tracer is given and recorded
+    anything — plain metric dumps stay pure snapshots.
+    """
+    payload: Dict[str, Any] = {
+        "metrics": (registry or get_registry()).snapshot(),
+    }
+    if trace is not None and trace.roots:
+        payload["spans"] = trace.to_dict()
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def _prom_labels(labels: Mapping[str, str],
+                 extra: Optional[Mapping[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for name, data in registry.snapshot().items():
+        if data["help"]:
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} {data['type']}")
+        if data["type"] == "histogram":
+            bounds = data["buckets"]
+            for entry in data["values"]:
+                labels, cell = entry["labels"], entry["value"]
+                cumulative = 0
+                for bound, count in zip(bounds, cell["buckets"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(labels, {'le': _format_number(bound)})}"
+                        f" {cumulative}")
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})}"
+                    f" {cell['count']}")
+                lines.append(f"{name}_sum{_prom_labels(labels)}"
+                             f" {_format_number(cell['sum'])}")
+                lines.append(f"{name}_count{_prom_labels(labels)}"
+                             f" {cell['count']}")
+        else:
+            for entry in data["values"]:
+                lines.append(
+                    f"{name}{_prom_labels(entry['labels'])}"
+                    f" {_format_number(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

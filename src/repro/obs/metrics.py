@@ -1,0 +1,315 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+Prometheus-flavoured but dependency-free.  Metrics carry optional
+labels::
+
+    LSPS_DROPPED = REGISTRY.counter(
+        "lsps_dropped_total", "LSPs removed by an LPR filter")
+    LSPS_DROPPED.inc(34, filter="incomplete")
+
+Counters only go up; gauges go both ways; histograms count observations
+into fixed upper-bound buckets (plus ``sum``/``count``).  Everything a
+metric records is an integer or a float derived deterministically from
+the data — metrics never read the clock, so a seeded run always produces
+the identical snapshot (DESIGN §6).
+
+Snapshots are plain dicts (JSON-ready).  :meth:`MetricsRegistry.diff`
+subtracts two snapshots (per-cycle accounting), and
+:meth:`MetricsRegistry.merge` adds any number of them (future sharded
+runs).  The process-wide default registry lives in
+:data:`REGISTRY`; tests and the CLI reset it via
+:meth:`MetricsRegistry.reset`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                   500.0, 1000.0)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Shared naming/labelling machinery for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"bad metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def labelled_values(self) -> List[Tuple[LabelKey, Any]]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def labelled_values(self) -> List[Tuple[LabelKey, Any]]:
+        return sorted(self._values.items())
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, fractions, levels)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def labelled_values(self) -> List[Tuple[LabelKey, Any]]:
+        return sorted(self._values.items())
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class Histogram(Metric):
+    """Observations counted into fixed upper-bound buckets.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the rest.  Per label set the
+    histogram keeps the bucket counts plus ``sum`` and ``count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name}: buckets must be "
+                             f"non-empty, unique, increasing: {bounds}")
+        self.buckets = bounds
+        self._data: Dict[LabelKey, Dict[str, Any]] = {}
+
+    def _cell(self, key: LabelKey) -> Dict[str, Any]:
+        if key not in self._data:
+            self._data[key] = {
+                "buckets": [0] * (len(self.buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+        return self._data[key]
+
+    def observe(self, value: float, **labels: Any) -> None:
+        cell = self._cell(_label_key(labels))
+        cell["buckets"][bisect_left(self.buckets, value)] += 1
+        cell["sum"] += value
+        cell["count"] += 1
+
+    def snapshot_cell(self, **labels: Any) -> Dict[str, Any]:
+        cell = self._cell(_label_key(labels))
+        return {"buckets": list(cell["buckets"]),
+                "sum": cell["sum"], "count": cell["count"]}
+
+    def labelled_values(self) -> List[Tuple[LabelKey, Any]]:
+        return sorted(
+            (key, {"buckets": list(cell["buckets"]),
+                   "sum": cell["sum"], "count": cell["count"]})
+            for key, cell in self._data.items()
+        )
+
+    def reset(self) -> None:
+        self._data.clear()
+
+
+class MetricsRegistry:
+    """Holds every metric; get-or-create accessors keep call sites flat."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       **kwargs: Any) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {cls.kind}")
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every metric's values (registrations survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready dump of every metric's current values."""
+        out: Dict[str, Any] = {}
+        for metric in self.metrics():
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "values": [
+                    {"labels": dict(key), "value": value}
+                    for key, value in metric.labelled_values()
+                ],
+            }
+            if isinstance(metric, Histogram):
+                out[metric.name]["buckets"] = list(metric.buckets)
+        return out
+
+    @staticmethod
+    def diff(before: Mapping[str, Any],
+             after: Mapping[str, Any]) -> Dict[str, Any]:
+        """``after - before`` for counters/histograms; gauges keep
+        their ``after`` value.  Metrics absent from ``before`` count
+        from zero; zero-delta entries are dropped.
+        """
+        out: Dict[str, Any] = {}
+        for name, data in after.items():
+            previous = {
+                _label_key(entry["labels"]): entry["value"]
+                for entry in before.get(name, {}).get("values", [])
+            }
+            values = []
+            for entry in data["values"]:
+                key = _label_key(entry["labels"])
+                delta = _subtract(data["type"], entry["value"],
+                                  previous.get(key))
+                if _is_zero(delta):
+                    continue
+                values.append({"labels": dict(entry["labels"]),
+                               "value": delta})
+            if values:
+                out[name] = {**{k: v for k, v in data.items()
+                                if k != "values"}, "values": values}
+        return out
+
+    @staticmethod
+    def merge(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Sum counters/histograms across snapshots (gauges: last wins)."""
+        out: Dict[str, Any] = {}
+        for snapshot in snapshots:
+            for name, data in snapshot.items():
+                if name not in out:
+                    out[name] = {**{k: v for k, v in data.items()
+                                    if k != "values"}, "values": []}
+                merged = {
+                    _label_key(entry["labels"]): entry["value"]
+                    for entry in out[name]["values"]
+                }
+                for entry in data["values"]:
+                    key = _label_key(entry["labels"])
+                    if key in merged and data["type"] != "gauge":
+                        merged[key] = _add(data["type"], merged[key],
+                                           entry["value"])
+                    else:
+                        merged[key] = entry["value"]
+                out[name]["values"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(merged.items())
+                ]
+        return out
+
+
+def _subtract(kind: str, after: Any, before: Any) -> Any:
+    if before is None:
+        return after
+    if kind == "gauge":
+        return after
+    if kind == "histogram":
+        return {
+            "buckets": [a - b for a, b in zip(after["buckets"],
+                                              before["buckets"])],
+            "sum": after["sum"] - before["sum"],
+            "count": after["count"] - before["count"],
+        }
+    return after - before
+
+
+def _add(kind: str, left: Any, right: Any) -> Any:
+    if kind == "histogram":
+        return {
+            "buckets": [a + b for a, b in zip(left["buckets"],
+                                              right["buckets"])],
+            "sum": left["sum"] + right["sum"],
+            "count": left["count"] + right["count"],
+        }
+    return left + right
+
+
+def _is_zero(value: Any) -> bool:
+    if isinstance(value, dict):
+        return value.get("count", 0) == 0 and not any(value["buckets"])
+    return value == 0
+
+
+REGISTRY = MetricsRegistry()
+"""The process-wide registry all library instrumentation reports to."""
+
+
+def get_registry() -> MetricsRegistry:
+    """The default registry (one per process, reset-able)."""
+    return REGISTRY

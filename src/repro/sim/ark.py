@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..igp.ecmp import flow_hash
+from ..obs import get_logger, get_registry, span
 from ..traces import Trace
 from .config import MplsPolicy
 from .dataplane import DataPlane
@@ -30,6 +31,14 @@ from .traceroute import TracerouteEngine
 
 _DAY = 86_400.0
 _MONTH = 30 * _DAY
+
+_log = get_logger(__name__)
+_CYCLES_SIMULATED = get_registry().counter(
+    "sim_cycles_total", "Measurement cycles simulated")
+_SNAPSHOTS_SIMULATED = get_registry().counter(
+    "sim_snapshots_total", "Snapshots taken across all cycles")
+_SIM_TRACES = get_registry().counter(
+    "sim_traces_total", "Traces produced by the simulated campaigns")
 
 
 @dataclass
@@ -123,23 +132,35 @@ class ArkSimulator:
 
     def run_cycle(self, cycle: int) -> CycleData:
         """Execute one monthly cycle with its follow-up snapshots."""
-        plan = self.scenario.plan(cycle)
-        self.internet.apply_policies(plan.policies)
         data = CycleData(cycle=cycle)
-        for snapshot in range(self.snapshots_per_cycle):
-            self.internet.tick()  # dynamic ASes re-optimize between runs
-            pairs = self.assignments(cycle, plan.monitor_fraction,
-                                     plan.dest_fraction, snapshot)
-            engine = TracerouteEngine(
-                DataPlane(self.internet,
-                          era=flow_hash(cycle, snapshot),
-                          flap_rate=self.flap_rate,
-                          egress_noise=self.egress_noise),
-                seed=flow_hash(self._seed, cycle, snapshot),
-                loss_rate=self.loss_rate,
-            )
-            timestamp = (cycle - 1) * _MONTH + snapshot * _DAY
-            data.snapshots.append(engine.trace_all(pairs, timestamp))
+        with span("sim.cycle", cycle=cycle):
+            plan = self.scenario.plan(cycle)
+            self.internet.apply_policies(plan.policies)
+            for snapshot in range(self.snapshots_per_cycle):
+                with span("sim.snapshot", cycle=cycle,
+                          snapshot=snapshot):
+                    # dynamic ASes re-optimize between runs
+                    self.internet.tick()
+                    pairs = self.assignments(
+                        cycle, plan.monitor_fraction,
+                        plan.dest_fraction, snapshot)
+                    engine = TracerouteEngine(
+                        DataPlane(self.internet,
+                                  era=flow_hash(cycle, snapshot),
+                                  flap_rate=self.flap_rate,
+                                  egress_noise=self.egress_noise),
+                        seed=flow_hash(self._seed, cycle, snapshot),
+                        loss_rate=self.loss_rate,
+                    )
+                    timestamp = (cycle - 1) * _MONTH + snapshot * _DAY
+                    traces = engine.trace_all(pairs, timestamp)
+                data.snapshots.append(traces)
+                _SNAPSHOTS_SIMULATED.inc()
+                _SIM_TRACES.inc(len(traces))
+        _CYCLES_SIMULATED.inc()
+        _log.info("sim.cycle.done", cycle=cycle,
+                  snapshots=len(data.snapshots),
+                  traces=sum(len(s) for s in data.snapshots))
         return data
 
     def run(self, first: int = 1, last: Optional[int] = None

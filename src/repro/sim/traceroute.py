@@ -20,11 +20,20 @@ from typing import List, Optional
 from ..igp.ecmp import flow_hash
 from ..mpls.lse import LabelStack, LabelStackEntry
 from ..net.icmp import TimeExceeded, build_probe_quote
+from ..obs import get_registry, span
 from ..traces import StopReason, Trace, TraceHop
 from .dataplane import DataPlane, HopObs, UnreachableError
 from .monitors import Monitor
 
 _LOSS_SCALE = float(1 << 64)
+
+_PROBES = get_registry().counter(
+    "probes_total", "Traceroute probes issued (one per TTL)")
+_PROBES_UNANSWERED = get_registry().counter(
+    "probes_unanswered_total",
+    "Probes with no reply (loss or unresponsive router)")
+_TRACES = get_registry().counter(
+    "traces_total", "Traceroutes completed, by stop reason")
 
 
 class TracerouteEngine:
@@ -50,6 +59,7 @@ class TracerouteEngine:
                 monitor.src_addr, dst_addr,
             )
         except UnreachableError:
+            _TRACES.inc(stop=StopReason.UNREACHABLE.value)
             return Trace(monitor=monitor.name, src=monitor.src_addr,
                          dst=dst_addr, timestamp=timestamp,
                          stop_reason=StopReason.UNREACHABLE, hops=[])
@@ -75,14 +85,19 @@ class TracerouteEngine:
             if obs.router_id == -1 and not hop.is_anonymous:
                 stop = StopReason.COMPLETED
                 break
+        _PROBES.inc(len(hops))
+        _PROBES_UNANSWERED.inc(
+            sum(1 for hop in hops if hop.is_anonymous))
+        _TRACES.inc(stop=stop.value)
         return Trace(monitor=monitor.name, src=monitor.src_addr,
                      dst=dst_addr, timestamp=timestamp,
                      stop_reason=stop, hops=hops)
 
     def trace_all(self, pairs, timestamp: float = 0.0) -> List[Trace]:
         """Trace every (monitor, destination) pair of an iterable."""
-        return [self.trace(monitor, dst, timestamp)
-                for monitor, dst in pairs]
+        with span("sim.trace_all"):
+            return [self.trace(monitor, dst, timestamp)
+                    for monitor, dst in pairs]
 
     # -- internals -----------------------------------------------------------
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,6 +84,72 @@ class TestStudy:
         output = capsys.readouterr().out
         assert "== table1 ==" in output
         assert "== fig7 ==" in output
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_valid_json(self, campaign_dir,
+                                           tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["--metrics-out", str(metrics_path),
+                     "classify",
+                     "--cycle-dir", str(campaign_dir / "cycle-30")]) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+        metrics = payload["metrics"]
+        assert metrics["pipeline_cycles_total"]["values"][0]["value"] >= 1
+        drops = {entry["labels"]["filter"]: entry["value"]
+                 for entry in metrics["lsps_dropped_total"]["values"]}
+        assert set(drops) <= {"incomplete", "intra_as", "target_as",
+                              "transit_diversity", "persistence"}
+
+    def test_log_level_emits_structured_lines(self, campaign_dir,
+                                              capsys):
+        assert main(["--log-level", "info", "classify",
+                     "--cycle-dir", str(campaign_dir / "cycle-30")]) == 0
+        err = capsys.readouterr().err
+        assert "pipeline.cycle.done" in err
+
+    def test_log_json_emits_json_lines(self, campaign_dir, capsys):
+        assert main(["--log-level", "info", "--log-json", "classify",
+                     "--cycle-dir", str(campaign_dir / "cycle-30")]) == 0
+        lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("{")]
+        assert lines
+        record = json.loads(lines[0])
+        assert record["logger"].startswith("repro.")
+
+    def test_study_profile_prints_stage_table(self, capsys):
+        code = main(["study", "--cycles", "2", "--scale", "0.4",
+                     "--artifacts", "table1", "--profile"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "span" in output
+        assert "pipeline.filters" in output
+        assert "sim.cycle" in output
+
+    def test_classify_shares_come_from_counts(self, campaign_dir,
+                                              capsys):
+        assert main(["classify",
+                     "--cycle-dir", str(campaign_dir / "cycle-30")]) == 0
+        output = capsys.readouterr().out
+        class_rows = [line.split() for line in output.splitlines()
+                      if line.startswith(("mono-", "multi-",
+                                          "unclassified"))]
+        total = sum(int(row[1]) for row in class_rows)
+        for row in class_rows:
+            assert float(row[2]) == pytest.approx(
+                int(row[1]) / total, abs=0.005)
+
+    def test_classify_missing_pfx2as(self, tmp_path, campaign_dir,
+                                     capsys):
+        orphan = tmp_path / "cycle-99"
+        orphan.mkdir()
+        source = campaign_dir / "cycle-30"
+        for snapshot in source.glob("snapshot-*.rwts"):
+            (orphan / snapshot.name).write_bytes(
+                snapshot.read_bytes())
+        assert main(["classify", "--cycle-dir", str(orphan)]) == 1
+        assert "missing" in capsys.readouterr().err
 
 
 class TestAudit:

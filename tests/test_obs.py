@@ -1,0 +1,305 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core import LprPipeline
+from repro.obs import (
+    FakeClock,
+    JsonFormatter,
+    KeyValueFormatter,
+    MetricsRegistry,
+    MonotonicClock,
+    NullClock,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_registry,
+    get_tracer,
+    set_tracer,
+    snapshot_to_json,
+    span,
+    to_prometheus,
+    traced,
+)
+from repro.obs.metrics import Counter, Histogram
+from repro.sim import ArkSimulator, paper_scenario
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+
+    def test_fake_clock_durations_are_exact(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+        (root,) = tracer.roots
+        assert root.duration == 1.25
+        assert root.children[0].duration == 0.25
+        assert root.self_time == 1.0
+
+    def test_null_clock_keeps_structure_without_timing(self):
+        tracer = Tracer(NullClock())
+        with tracer.span("stage", cycle=3) as node:
+            pass
+        assert node.duration == 0.0
+        assert node.attrs == {"cycle": 3}
+
+    def test_span_reopens_after_exception(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError
+        assert tracer.active is None
+        assert tracer.roots[0].end is not None
+
+    def test_totals_aggregate_by_name(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        for _ in range(3):
+            with tracer.span("stage"):
+                clock.advance(0.5)
+        (totals,) = tracer.totals()
+        assert totals.count == 3
+        assert totals.total_s == pytest.approx(1.5)
+        assert totals.mean_ms == pytest.approx(500.0)
+
+    def test_decorator_and_global_tracer(self):
+        saved = get_tracer()
+        tracer = set_tracer(Tracer(FakeClock()))
+        try:
+            @traced("decorated", kind="test")
+            def work():
+                return 42
+
+            assert work() == 42
+            with span("manual"):
+                pass
+            assert [s.name for s in tracer.roots] == ["decorated",
+                                                      "manual"]
+        finally:
+            set_tracer(saved)
+
+    def test_to_dict_round_trips_through_json(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer", cycle=1):
+            clock.advance(2.0)
+            with tracer.span("inner"):
+                clock.advance(1.0)
+        data = json.loads(json.dumps(tracer.to_dict()))
+        assert data[0]["name"] == "outer"
+        assert data[0]["duration_s"] == 3.0
+        assert data[0]["children"][0]["duration_s"] == 1.0
+
+
+class TestCounters:
+    def test_inc_and_labels(self):
+        counter = Counter("things_total")
+        counter.inc()
+        counter.inc(4, kind="a")
+        counter.inc(2, kind="a")
+        assert counter.value() == 1
+        assert counter.value(kind="a") == 6
+        assert counter.value(kind="b") == 0
+
+    def test_counters_cannot_decrease(self):
+        counter = Counter("things_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_registry_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total")
+        b = registry.counter("hits_total")
+        assert a is b
+        with pytest.raises(TypeError):
+            registry.gauge("hits_total")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.dec(2)
+        assert gauge.value() == 3
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("sizes", buckets=(1, 10, 100))
+        for value in (0.5, 5, 5, 50, 5000):
+            histogram.observe(value)
+        cell = histogram.snapshot_cell()
+        assert cell["buckets"] == [1, 2, 1, 1]
+        assert cell["count"] == 5
+        assert cell["sum"] == pytest.approx(5060.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(10, 1))
+
+
+class TestSnapshots:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("lsps_total").inc(7, filter="incomplete")
+        registry.gauge("level").set(3.5)
+        registry.histogram("sizes", buckets=(1, 10)).observe(4)
+        return registry
+
+    def test_json_export_round_trip(self):
+        registry = self.build()
+        snapshot = registry.snapshot()
+        decoded = json.loads(snapshot_to_json(snapshot))
+        assert decoded == json.loads(json.dumps(snapshot))
+        assert decoded["lsps_total"]["values"][0] == {
+            "labels": {"filter": "incomplete"}, "value": 7}
+        assert decoded["sizes"]["values"][0]["value"]["count"] == 1
+
+    def test_diff_subtracts_counters_keeps_gauges(self):
+        registry = self.build()
+        before = registry.snapshot()
+        registry.counter("lsps_total").inc(3, filter="incomplete")
+        registry.gauge("level").set(9.0)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta["lsps_total"]["values"][0]["value"] == 3
+        assert delta["level"]["values"][0]["value"] == 9.0
+        assert "sizes" not in delta  # zero delta dropped
+
+    def test_merge_sums_counters_and_histograms(self):
+        one = self.build().snapshot()
+        two = self.build().snapshot()
+        merged = MetricsRegistry.merge([one, two])
+        assert merged["lsps_total"]["values"][0]["value"] == 14
+        assert merged["sizes"]["values"][0]["value"]["count"] == 2
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = self.build()
+        registry.reset()
+        assert registry.counter("lsps_total").value(
+            filter="incomplete") == 0
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus(self.build())
+        assert '# TYPE lsps_total counter' in text
+        assert 'lsps_total{filter="incomplete"} 7' in text
+        assert 'sizes_bucket{le="10"} 1' in text
+        assert 'sizes_bucket{le="+Inf"} 1' in text
+        assert 'sizes_count 1' in text
+
+
+class TestStructuredLogging:
+    def test_key_value_line(self, capsys):
+        handler = configure_logging(level="info")
+        try:
+            get_logger("repro.test").info("cycle.done", cycle=3,
+                                          note="two words")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        err = capsys.readouterr().err
+        assert "repro.test cycle.done" in err
+        assert "cycle=3" in err
+        assert 'note="two words"' in err
+
+    def test_json_lines(self, capsys):
+        handler = configure_logging(level="debug", json_output=True)
+        try:
+            get_logger("repro.test").debug("probe.sent", ttl=7)
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["event"] == "probe.sent"
+        assert record["ttl"] == 7
+        assert record["level"] == "debug"
+
+    def test_level_gating(self, capsys):
+        handler = configure_logging(level="warning")
+        try:
+            get_logger("repro.test").info("hidden")
+            get_logger("repro.test").warning("shown")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "shown" in err
+
+    def test_loggers_are_rerooted_under_repro(self):
+        assert get_logger("outsider").name == "repro.outsider"
+        assert get_logger("repro.sim.ark").name == "repro.sim.ark"
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")
+
+
+class TestPipelineReconciliation:
+    """Filter drop counters must agree exactly with FilterStats."""
+
+    @pytest.fixture(scope="class")
+    def cycle_result(self):
+        simulator = ArkSimulator(paper_scenario(scale=0.4, seed=7))
+        pipeline = LprPipeline(simulator.internet.ip2as)
+        get_registry().reset()
+        return pipeline.process_cycle(simulator.run_cycle(30))
+
+    def drops(self, result):
+        values = result.metrics["lsps_dropped_total"]["values"]
+        return {entry["labels"]["filter"]: entry["value"]
+                for entry in values}
+
+    def test_per_filter_drops_match_filter_stats(self, cycle_result):
+        stats = cycle_result.filter_stats
+        drops = self.drops(cycle_result)
+        expected = {
+            "incomplete": stats.extracted - stats.after_incomplete,
+            "intra_as": stats.after_incomplete - stats.after_intra_as,
+            "target_as": stats.after_intra_as - stats.after_target_as,
+            "transit_diversity":
+                stats.after_target_as - stats.after_transit_diversity,
+            "persistence":
+                stats.after_transit_diversity - stats.after_persistence,
+        }
+        for stage, value in expected.items():
+            assert drops.get(stage, 0) == value, stage
+
+    def test_drop_sum_equals_total_attrition(self, cycle_result):
+        stats = cycle_result.filter_stats
+        assert sum(self.drops(cycle_result).values()) == \
+            stats.extracted - stats.after_persistence
+
+    def test_classification_counters_match_counts(self, cycle_result):
+        values = cycle_result.metrics[
+            "iotps_classified_total"]["values"]
+        counted = {entry["labels"]["tunnel_class"]: entry["value"]
+                   for entry in values}
+        for tunnel_class, count in \
+                cycle_result.classification.counts().items():
+            assert counted.get(tunnel_class.value, 0) == count
+
+    def test_cycle_metrics_are_deterministic(self):
+        def run():
+            simulator = ArkSimulator(paper_scenario(scale=0.4, seed=7))
+            pipeline = LprPipeline(simulator.internet.ip2as)
+            return pipeline.process_cycle(simulator.run_cycle(30))
+
+        assert run().metrics == run().metrics
+
+    def test_null_clock_is_the_default(self):
+        assert isinstance(get_tracer().clock, (NullClock,
+                                               MonotonicClock))
+        # A fresh tracer must never read the wall clock by default.
+        assert isinstance(Tracer().clock, NullClock)
