@@ -11,19 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
-from ..core.pipeline import LprPipeline, persistence_sweep
+from ..core.pipeline import LprPipeline, persistence_sweep, run_study
 from ..obs import get_logger, span
+from ..par import StudySpec
 from ..sim.ark import ArkSimulator, daily_campaign, \
     label_dynamics_campaign
 from ..sim.config import MplsPolicy
 from ..sim.scenarios import (
     ATT,
+    CYCLES,
     LEVEL3,
     LEVEL3_RISE_CYCLE,
     NTT,
     TATA,
     VODAFONE,
-    paper_scenario,
 )
 from .aggregate import LongitudinalStudy
 from .figures import (
@@ -70,26 +71,26 @@ class Study:
 
 def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            cycles: Optional[int] = None,
-                           snapshots_per_cycle: int = 3) -> Study:
+                           snapshots_per_cycle: int = 3,
+                           workers: int = 1) -> Study:
     """Run the paper's measurement campaign end to end.
 
     ``scale`` shrinks router/prefix counts for fast tests; ``cycles``
-    truncates the study (default: the full 60).
+    truncates the study (default: the full 60).  ``workers > 1`` shards
+    the cycles over a process pool (`repro.par`) with byte-identical
+    results; the returned study's simulator is left in the same
+    end-of-campaign state either way, so the post-study experiments
+    (Figs 6, 16, 17) regenerate identically too.
     """
-    scenario = paper_scenario(scale=scale, seed=seed)
-    simulator = ArkSimulator(scenario,
-                             snapshots_per_cycle=snapshots_per_cycle)
-    pipeline = LprPipeline(simulator.internet.ip2as)
-    last = cycles or scenario.cycles
-    _log.info("study.start", scale=scale, seed=seed, cycles=last)
-    with span("study.run", cycles=last):
-        results = [
-            pipeline.process_cycle(simulator.run_cycle(cycle))
-            for cycle in range(1, last + 1)
-        ]
-    _log.info("study.done", cycles=len(results))
-    return Study(simulator=simulator, pipeline=pipeline,
-                 longitudinal=LongitudinalStudy(results))
+    spec = StudySpec(scale=scale, seed=seed, cycles=cycles or CYCLES,
+                     snapshots_per_cycle=snapshots_per_cycle)
+    _log.info("study.start", scale=scale, seed=seed, cycles=spec.cycles,
+              workers=workers)
+    with span("study.run", cycles=spec.cycles, workers=workers):
+        run = run_study(spec, workers=workers)
+    _log.info("study.done", cycles=len(run.results))
+    return Study(simulator=run.simulator, pipeline=run.pipeline,
+                 longitudinal=LongitudinalStudy(run.results))
 
 
 def regenerate_fig6(study: Study, windows=(0, 1, 2, 3, 5, 8, 12),

@@ -105,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--artifacts", nargs="+",
                        default=["table1", "fig7"],
                        choices=list(ALL_ARTIFACTS))
+    study.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shard the cycles over N worker processes "
+                            "(byte-identical output; default serial)")
     study.add_argument("--profile", action="store_true",
                        help="time every pipeline stage and print a "
                             "per-stage breakdown table")
@@ -224,8 +227,13 @@ def cmd_study(args) -> int:
         # monotonic one (results stay deterministic — only the span
         # durations read the clock, never the pipeline).
         set_tracer(Tracer(MonotonicClock()))
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     study = run_longitudinal_study(scale=args.scale, seed=args.seed,
-                                   cycles=args.cycles)
+                                   cycles=args.cycles,
+                                   workers=args.workers)
     for artifact in args.artifacts:
         print(f"\n{regenerate(study, artifact)}")
     if args.profile:

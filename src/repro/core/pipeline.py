@@ -65,22 +65,22 @@ def dataset_stats(traces: Sequence[Trace],
             every.add(hop.address)
             if hop.has_labels:
                 mpls.add(hop.address)
-    non_mpls = every - mpls
 
-    def by_as(addresses: Set[int]) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for address in addresses:
-            asn = ip2as.lookup_single(address)
-            counts[asn] = counts.get(asn, 0) + 1
-        return counts
+    # One origin lookup per distinct address, feeding both histograms.
+    mpls_by_as: Dict[int, int] = {}
+    non_mpls_by_as: Dict[int, int] = {}
+    for address in every:
+        asn = ip2as.lookup_single(address)
+        counts = mpls_by_as if address in mpls else non_mpls_by_as
+        counts[asn] = counts.get(asn, 0) + 1
 
     return DatasetStats(
         trace_count=len(traces),
         traces_with_tunnels=traces_with_tunnels(traces),
         mpls_addresses=len(mpls),
-        non_mpls_addresses=len(non_mpls),
-        mpls_by_as=by_as(mpls),
-        non_mpls_by_as=by_as(non_mpls),
+        non_mpls_addresses=len(every) - len(mpls),
+        mpls_by_as=mpls_by_as,
+        non_mpls_by_as=non_mpls_by_as,
     )
 
 
@@ -176,6 +176,24 @@ class LprPipeline:
         return [self.process_cycle(cycle_data) for cycle_data in run]
 
 
+def run_study(spec, workers: int = 1):
+    """Execute a full longitudinal campaign, optionally sharded.
+
+    ``spec`` is a :class:`repro.par.StudySpec`; the return value is a
+    :class:`repro.par.StudyRun` whose ``results`` list is ordered by
+    cycle regardless of how the work was scheduled.  ``workers <= 1``
+    runs the classic serial loop in this process; ``workers > 1`` shards
+    the cycle range over a process pool — each worker reconstructs its
+    block's network state deterministically and the per-shard metrics
+    deltas merge back into this process's registry — with byte-identical
+    output either way (asserted in ``tests/test_par.py``).
+    """
+    # Imported lazily: repro.par builds on this module and on repro.sim.
+    from ..par.runner import run_study as run_sharded
+
+    return run_sharded(spec, workers=workers)
+
+
 @dataclass
 class PersistencePoint:
     """One point of the Fig 6 sweep: the effect of window size j."""
@@ -195,15 +213,44 @@ def persistence_sweep(snapshots: Sequence[Sequence[Trace]],
     ``snapshots[0]`` is the cycle under study; ``snapshots[1:]`` are the
     follow-up runs.  ``windows`` lists the j values to evaluate (0 = no
     persistence filtering).
+
+    Extraction happens once per snapshot, not once per window: the
+    primary's LSPs and each follow-up's complete-signature set are
+    window-independent, so every sweep point reuses them and only the
+    filter chain and classification re-run.  The filters never mutate
+    their input LSPs (survivor lists are fresh, AS annotation copies),
+    which is what makes the sharing sound.
     """
-    points = []
+    if not snapshots:
+        raise ValueError("need at least the primary snapshot")
+    windows = list(windows)
     for window in windows:
-        pipeline = LprPipeline(ip2as, persistence_window=window,
-                               reinject_threshold=reinject_threshold)
-        result = pipeline.process_snapshots(0, snapshots)
-        points.append(PersistencePoint(
-            window=window,
-            kept_lsps=result.filter_stats.after_persistence,
-            classification=result.classification,
-        ))
+        if window < 0:
+            raise ValueError(f"negative persistence window: {window}")
+
+    with span("pipeline.sweep", windows=len(windows)):
+        with span("pipeline.extract"):
+            lsps = extract_all(snapshots[0])
+        widest = max(windows, default=0)
+        with span("pipeline.follow_ups"):
+            follow_ups = [
+                {lsp.signature for lsp in extract_all(snapshot)
+                 if lsp.complete}
+                for snapshot in snapshots[1:1 + widest]
+            ]
+        points = []
+        for window in windows:
+            with span("pipeline.filters", window=window):
+                iotps, stats = run_filters(
+                    lsps, ip2as,
+                    follow_up_signatures=follow_ups[:window],
+                    reinject_threshold=reinject_threshold,
+                )
+            with span("pipeline.classify", window=window):
+                classification = classify(iotps)
+            points.append(PersistencePoint(
+                window=window,
+                kept_lsps=stats.after_persistence,
+                classification=classification,
+            ))
     return points

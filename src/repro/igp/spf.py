@@ -50,19 +50,31 @@ class SpfResult:
         """Number of distinct equal-cost paths from ``source`` to the root.
 
         Counts link-level diversity (parallel links multiply the count).
+        Iterative post-order over the DAG — the depth of a shortest-path
+        chain is bounded only by the topology size, so recursion would
+        hit Python's recursion limit on long-chain networks.
         """
-        if _memo is None:
-            _memo = {self.destination: 1}
-        if source in _memo:
-            return _memo[source]
-        if not self.reachable(source):
-            _memo[source] = 0
-            return 0
-        total = sum(
-            self.path_count(nbr, _memo) for nbr, _ in self.successors[source]
-        )
-        _memo[source] = total
-        return total
+        memo = _memo if _memo is not None else {}
+        memo.setdefault(self.destination, 1)
+        stack = [source]
+        while stack:
+            router = stack[-1]
+            if router in memo:
+                stack.pop()
+                continue
+            if not self.reachable(router):
+                memo[router] = 0
+                stack.pop()
+                continue
+            pending = [nbr for nbr, _ in self.successors[router]
+                       if nbr not in memo]
+            if pending:
+                stack.extend(pending)
+            else:
+                memo[router] = sum(memo[nbr]
+                                   for nbr, _ in self.successors[router])
+                stack.pop()
+        return memo[source]
 
     def all_paths(self, source: int, limit: int = 1000
                   ) -> List[List[NextHop]]:

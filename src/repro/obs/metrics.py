@@ -14,9 +14,11 @@ the data — metrics never read the clock, so a seeded run always produces
 the identical snapshot (DESIGN §6).
 
 Snapshots are plain dicts (JSON-ready).  :meth:`MetricsRegistry.diff`
-subtracts two snapshots (per-cycle accounting), and
-:meth:`MetricsRegistry.merge` adds any number of them (future sharded
-runs).  The process-wide default registry lives in
+subtracts two snapshots (per-cycle accounting),
+:meth:`MetricsRegistry.merge` adds any number of them, and
+:meth:`MetricsRegistry.absorb` re-applies a delta to the live metrics —
+how `repro.par` workers' registries merge back into the parent process
+on sharded runs.  The process-wide default registry lives in
 :data:`REGISTRY`; tests and the CLI reset it via
 :meth:`MetricsRegistry.reset`.
 """
@@ -149,6 +151,20 @@ class Histogram(Metric):
         return {"buckets": list(cell["buckets"]),
                 "sum": cell["sum"], "count": cell["count"]}
 
+    def absorb_cell(self, cell: Mapping[str, Any],
+                    **labels: Any) -> None:
+        """Add a snapshot cell (buckets/sum/count) into this histogram."""
+        mine = self._cell(_label_key(labels))
+        if len(cell["buckets"]) != len(mine["buckets"]):
+            raise ValueError(
+                f"histogram {self.name}: cannot absorb a cell with "
+                f"{len(cell['buckets'])} buckets into "
+                f"{len(mine['buckets'])}")
+        mine["buckets"] = [a + b for a, b in zip(mine["buckets"],
+                                                 cell["buckets"])]
+        mine["sum"] += cell["sum"]
+        mine["count"] += cell["count"]
+
     def labelled_values(self) -> List[Tuple[LabelKey, Any]]:
         return sorted(
             (key, {"buckets": list(cell["buckets"]),
@@ -201,6 +217,37 @@ class MetricsRegistry:
         """Zero every metric's values (registrations survive)."""
         for metric in self._metrics.values():
             metric.reset()
+
+    def absorb(self, delta: Mapping[str, Any]) -> None:
+        """Re-apply a snapshot delta to this registry's live metrics.
+
+        ``delta`` is :meth:`diff`/:meth:`merge` output (e.g. the
+        registry delta a sharded-run worker sends home).  Counters and
+        histogram cells add onto the current values; gauges take the
+        delta's value.  Metrics absent from this registry are created
+        with the delta's type and help text.
+        """
+        for name in sorted(delta):
+            data = delta[name]
+            kind = data.get("type", "counter")
+            if kind == "counter":
+                counter = self.counter(name, data.get("help", ""))
+                for entry in data["values"]:
+                    counter.inc(entry["value"], **entry["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, data.get("help", ""))
+                for entry in data["values"]:
+                    gauge.set(entry["value"], **entry["labels"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, data.get("help", ""),
+                    buckets=data.get("buckets", DEFAULT_BUCKETS))
+                for entry in data["values"]:
+                    histogram.absorb_cell(entry["value"],
+                                          **entry["labels"])
+            else:
+                raise ValueError(
+                    f"cannot absorb metric {name!r} of kind {kind!r}")
 
     # -- snapshots -----------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""Parallel study execution: deterministic cycle sharding.
+
+The longitudinal campaign (60 monthly cycles, simulate -> extract ->
+filter -> classify each) is embarrassingly parallel *across* cycles as
+long as every worker sees the exact network state a serial run would
+have at its cycles.  This package provides that:
+
+* :func:`shard_cycles` splits a cycle range into contiguous blocks, one
+  per worker — contiguity minimises replay work;
+* each worker deterministically reconstructs its block's starting state
+  with :meth:`~repro.sim.ark.ArkSimulator.fast_forward` (control-plane
+  replay: policies applied and timers ticked, no probes), then runs its
+  cycles locally;
+* :func:`run_study` collects the per-shard :class:`CycleResult` lists in
+  cycle order and merges each shard's metrics delta back into the parent
+  registry via :meth:`repro.obs.MetricsRegistry.absorb`.
+
+The contract — asserted in ``tests/test_par.py`` — is that a run with
+``workers=N`` produces **byte-identical** tables, figures,
+classifications and merged metrics to the serial run (DESIGN §6 and §8).
+"""
+
+from .shard import Shard, shard_cycles
+from .runner import (
+    ShardResult,
+    StudyRun,
+    StudySpec,
+    build_study,
+    run_study,
+)
+
+__all__ = [
+    "Shard",
+    "shard_cycles",
+    "ShardResult",
+    "StudyRun",
+    "StudySpec",
+    "build_study",
+    "run_study",
+]

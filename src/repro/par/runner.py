@@ -1,0 +1,173 @@
+"""The process-pool study runner.
+
+A :class:`StudySpec` is the complete, picklable recipe for one
+longitudinal campaign; :func:`build_study` turns it into a fresh
+``(ArkSimulator, LprPipeline)`` pair.  Because every simulation object
+is a pure function of the spec's seed (DESIGN §6), a worker process that
+builds the same spec and fast-forwards to its shard's first cycle holds
+exactly the network state the serial run would have there — label
+allocators, TE sessions and all.
+
+:func:`run_study` is the single entry point: ``workers <= 1`` runs the
+familiar serial loop in-process; ``workers > 1`` fans the shards out
+over a process pool, collects the per-shard results in cycle order,
+absorbs each shard's metrics delta into the parent registry (tagged
+with per-shard accounting counters), and finally fast-forwards a parent
+simulator through the whole campaign so that post-study experiments
+(Figs 6, 16, 17 re-run cycles on top of the end state) see the identical
+state a serial run leaves behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..core.pipeline import CycleResult, LprPipeline
+from ..obs import get_logger, get_registry, span
+from ..sim import ArkSimulator
+from ..sim.scenarios import CYCLES, paper_scenario
+from .shard import Shard, shard_cycles
+
+_log = get_logger(__name__)
+_SHARDS_RUN = get_registry().counter(
+    "par_shards_total", "Shards executed by parallel study runs")
+_SHARD_CYCLES = get_registry().counter(
+    "par_shard_cycles_total",
+    "Cycles processed per shard of a parallel study run")
+_CYCLES_REPLAYED = get_registry().counter(
+    "par_cycles_replayed_total",
+    "Cycles fast-forwarded (control-plane replay, no probes)")
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Everything needed to rebuild one campaign from scratch.
+
+    Plain numbers only, so the spec pickles cheaply into worker
+    processes and two equal specs always produce byte-identical runs.
+    """
+
+    scale: float = 1.0
+    seed: int = 2015
+    cycles: int = CYCLES
+    snapshots_per_cycle: int = 3
+    persistence_window: int = 2
+    reinject_threshold: float = 0.10
+    php_heuristic: bool = False
+
+
+def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
+    """A fresh simulator + pipeline pair for one spec."""
+    simulator = ArkSimulator(
+        paper_scenario(scale=spec.scale, seed=spec.seed),
+        snapshots_per_cycle=spec.snapshots_per_cycle,
+    )
+    pipeline = LprPipeline(
+        simulator.internet.ip2as,
+        persistence_window=spec.persistence_window,
+        reinject_threshold=spec.reinject_threshold,
+        php_heuristic=spec.php_heuristic,
+    )
+    return simulator, pipeline
+
+
+@dataclass
+class ShardResult:
+    """What one worker sends back: results plus its metrics delta."""
+
+    shard_id: int
+    results: List[CycleResult]
+    metrics_delta: Dict[str, Any]
+    replayed_cycles: int
+
+
+@dataclass
+class StudyRun:
+    """One executed campaign: end-state simulator + ordered results."""
+
+    simulator: ArkSimulator
+    pipeline: LprPipeline
+    results: List[CycleResult]
+    shards: List[ShardResult] = field(default_factory=list)
+    """Per-shard accounting of a parallel run (empty when serial)."""
+
+
+def _run_shard(args: Tuple[StudySpec, Shard]) -> ShardResult:
+    """Worker entry: reconstruct state, run the shard's cycles locally."""
+    spec, shard = args
+    simulator, pipeline = build_study(spec)
+    registry = get_registry()
+    before = registry.snapshot()
+    simulator.fast_forward(1, shard.first - 1)
+    results = [
+        pipeline.process_cycle(simulator.run_cycle(cycle))
+        for cycle in shard.cycles
+    ]
+    return ShardResult(
+        shard_id=shard.shard_id,
+        results=results,
+        metrics_delta=registry.diff(before, registry.snapshot()),
+        replayed_cycles=shard.first - 1,
+    )
+
+
+def _pool_context():
+    """Fork where the platform offers it (cheap, shares the warm
+    imports); spawn otherwise.  Workers derive everything from the
+    pickled spec either way, so the start method never affects output.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_study(spec: StudySpec, workers: int = 1) -> StudyRun:
+    """Execute a campaign, sharded over ``workers`` processes.
+
+    Results come back ordered by cycle whatever the pool's scheduling,
+    and each shard's metrics delta is absorbed into this process's
+    registry, so counters reconcile exactly with a serial run.
+    """
+    if workers <= 1:
+        simulator, pipeline = build_study(spec)
+        results = [
+            pipeline.process_cycle(simulator.run_cycle(cycle))
+            for cycle in range(1, spec.cycles + 1)
+        ]
+        return StudyRun(simulator=simulator, pipeline=pipeline,
+                        results=results)
+
+    shards = shard_cycles(1, spec.cycles, workers)
+    _log.info("par.study.start", cycles=spec.cycles, workers=workers,
+              shards=len(shards))
+    with span("par.study", cycles=spec.cycles, shards=len(shards)):
+        with ProcessPoolExecutor(max_workers=len(shards),
+                                 mp_context=_pool_context()) as pool:
+            shard_results = list(pool.map(
+                _run_shard, [(spec, shard) for shard in shards]))
+
+        registry = get_registry()
+        results: List[CycleResult] = []
+        for shard_result in sorted(shard_results,
+                                   key=lambda r: r.shard_id):
+            registry.absorb(shard_result.metrics_delta)
+            _SHARDS_RUN.inc()
+            _SHARD_CYCLES.inc(len(shard_result.results),
+                              shard=shard_result.shard_id)
+            _CYCLES_REPLAYED.inc(shard_result.replayed_cycles)
+            results.extend(shard_result.results)
+
+        # The parent simulator never probed, but post-study experiments
+        # (persistence sweeps, ramp campaigns, label dynamics) run extra
+        # cycles on top of the campaign's end state — replay the whole
+        # control-plane evolution so that state matches a serial run.
+        simulator, pipeline = build_study(spec)
+        with span("par.fast_forward", cycles=spec.cycles):
+            simulator.fast_forward(1, spec.cycles)
+    _log.info("par.study.done", cycles=len(results),
+              shards=len(shard_results))
+    return StudyRun(simulator=simulator, pipeline=pipeline,
+                    results=results, shards=shard_results)

@@ -1,0 +1,56 @@
+"""Deterministic cycle sharding for parallel study execution.
+
+Cycles are dealt into *contiguous* blocks: a worker reconstructs its
+starting state by replaying cycles ``1..first-1`` (cheap control-plane
+fast-forward), so contiguity keeps total replay work at
+``sum(first_k - 1)`` instead of one replay per cycle.  The split is a
+pure function of ``(first, last, shards)`` — no randomness, no
+load-balancer state — which keeps shard assignment reproducible and the
+merged output independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous block of cycles (inclusive bounds)."""
+
+    shard_id: int
+    first: int
+    last: int
+
+    @property
+    def cycles(self) -> range:
+        """The cycle numbers of this shard, ascending."""
+        return range(self.first, self.last + 1)
+
+    def __len__(self) -> int:
+        return self.last - self.first + 1
+
+
+def shard_cycles(first: int, last: int, shards: int) -> List[Shard]:
+    """Split ``[first, last]`` into at most ``shards`` contiguous blocks.
+
+    Blocks differ in size by at most one cycle (the earlier blocks take
+    the remainder).  Asking for more shards than cycles yields one
+    single-cycle shard per cycle; an empty range yields no shards.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    total = last - first + 1
+    if total <= 0:
+        return []
+    count = min(shards, total)
+    base, extra = divmod(total, count)
+    out: List[Shard] = []
+    start = first
+    for shard_id in range(count):
+        size = base + (1 if shard_id < extra else 0)
+        out.append(Shard(shard_id=shard_id, first=start,
+                         last=start + size - 1))
+        start += size
+    return out

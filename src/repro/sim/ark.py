@@ -130,12 +130,36 @@ class ArkSimulator:
 
     # -- campaign drivers ----------------------------------------------------
 
+    def _apply_cycle(self, cycle: int):
+        """Move the internet to one cycle's policy plan; returns the plan."""
+        plan = self.scenario.plan(cycle)
+        self.internet.apply_policies(plan.policies)
+        return plan
+
+    def fast_forward(self, first: int = 1, last: int = 0) -> None:
+        """Replay the control-plane evolution of cycles ``first..last``.
+
+        Reconstructs exactly the network state a serial campaign holds
+        after running those cycles — each cycle's policies applied, then
+        the per-snapshot timers ticked — without issuing a single probe.
+        Probing never mutates network state (the data plane and the
+        traceroute engine are read-only over it), so fast-forwarding is
+        state-equivalent to :meth:`run_cycle` and arbitrarily cheaper.
+        ``repro.par`` workers use this to reconstruct their shard's
+        starting state from ``(seed, scenario, cycle)`` alone, and the
+        parallel runner uses it to leave the parent simulator in the
+        serial end-of-campaign state (DESIGN §8).
+        """
+        for cycle in range(first, last + 1):
+            self._apply_cycle(cycle)
+            for _ in range(self.snapshots_per_cycle):
+                self.internet.tick()
+
     def run_cycle(self, cycle: int) -> CycleData:
         """Execute one monthly cycle with its follow-up snapshots."""
         data = CycleData(cycle=cycle)
         with span("sim.cycle", cycle=cycle):
-            plan = self.scenario.plan(cycle)
-            self.internet.apply_policies(plan.policies)
+            plan = self._apply_cycle(cycle)
             for snapshot in range(self.snapshots_per_cycle):
                 with span("sim.snapshot", cycle=cycle,
                           snapshot=snapshot):

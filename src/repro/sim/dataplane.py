@@ -7,9 +7,13 @@ the probe carried when its TTL expired there (what RFC 4950 quotes).
 
 Paris semantics make the path a pure function of (flow key, network
 state), so per-AS segments are enumerated once and cached; a flow then
-just selects one equal-cost segment by hash.  The cache is invalidated by
-rebuilding the DataPlane each cycle (network state changes between
-cycles, never within one).
+just selects one equal-cost segment by hash.  Segments depend only on
+the immutable intra-AS topology (plus any links flapped away this era),
+so the cache — a :class:`~repro.sim.network.SegmentCache` hosted on the
+:class:`~repro.sim.network.Internet` — is *shared* across every
+DataPlane of a study: rebuilding the DataPlane each snapshot changes the
+era (the flap/churn draw) without throwing the warm path enumerations
+away.
 """
 
 from __future__ import annotations
@@ -21,7 +25,12 @@ from ..igp.ecmp import flow_hash
 from ..mpls.fec import PrefixFec
 from ..mpls.vendor import get_profile
 from ..net.ip import Prefix
-from .network import AsNetwork, Internet, destination_prefix
+from .network import (
+    AsNetwork,
+    Internet,
+    SegmentCache,
+    destination_prefix,
+)
 
 
 @dataclass(frozen=True)
@@ -70,7 +79,8 @@ class DataPlane:
     """
 
     def __init__(self, internet: Internet, era: int = 0,
-                 flap_rate: float = 0.0, egress_noise: float = 0.0):
+                 flap_rate: float = 0.0, egress_noise: float = 0.0,
+                 cache: Optional[SegmentCache] = None):
         if not 0.0 <= flap_rate < 1.0:
             raise ValueError(f"flap_rate out of [0,1): {flap_rate}")
         if not 0.0 <= egress_noise < 1.0:
@@ -84,9 +94,10 @@ class DataPlane:
         # rerouting everything downstream of it — the second component
         # of the routing noise the Persistence filter removes.
         self.egress_noise = egress_noise
-        # (asn, entry, target) -> list of equal-cost segments, where a
-        # segment is the [(router, link), ...] steps after the entry router.
-        self._segment_cache: Dict[Tuple[int, int, int], List[list]] = {}
+        # Equal-cost segments: by default the internet-wide shared
+        # cache (segments are era-independent modulo flapped links).
+        self._cache = cache if cache is not None \
+            else internet.segment_cache
         self._flapped: Dict[int, frozenset] = {}
 
     def flapped_links(self, asn: int) -> frozenset:
@@ -207,24 +218,11 @@ class DataPlane:
         would disconnect the pair — a flap on the only path reconverges
         before traffic is affected at our observation timescale).
         """
-        key = (network.asn, entry, target)
-        segments = self._segment_cache.get(key)
-        if segments is not None:
-            return segments
         flapped = self.flapped_links(network.asn)
         if flapped:
-            from ..igp.spf import spf_to
-
-            dag = spf_to(network.topology, target,
-                         excluded_links=flapped)
-            segments = dag.all_paths(entry, limit=64)
-        else:
-            segments = []
-        if not segments:
-            dag = network.spf.to_destination(target)
-            segments = dag.all_paths(entry, limit=64)
-        self._segment_cache[key] = segments
-        return segments
+            return self._cache.degraded_segments(network, entry,
+                                                 target, flapped)
+        return self._cache.base_segments(network, entry, target)
 
     def _pick_segment(self, network: AsNetwork, entry: int, target: int,
                       flow_digest: int) -> list:

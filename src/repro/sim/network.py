@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..bgp.asgraph import AsGraph, AsNode, Tier
 from ..bgp.routing import BgpRouting
 from ..igp.ecmp import flow_hash
-from ..igp.spf import SpfTable
+from ..igp.spf import SpfTable, spf_to
 from ..igp.topology import Link, Router, Topology
 from ..mpls.fec import PrefixFec
 from ..mpls.ldp import LdpEngine
@@ -437,6 +437,61 @@ class AsNetwork:
                 f"mpls={'on' if self.policy.enabled else 'off'})")
 
 
+class SegmentCache:
+    """Equal-cost segment sets, shared across the forwarding plane.
+
+    A *segment* is one ``[(router, link), ...]`` step sequence between
+    two routers of an AS.  Segments depend only on the intra-AS topology
+    (immutable after construction) and on the set of links withdrawn
+    from the IGP — never on MPLS state — so a single cache can serve
+    every :class:`~repro.sim.dataplane.DataPlane` of a whole study:
+    snapshots, cycles and post-study campaigns all hit the same entries
+    instead of re-enumerating DAG paths per era.  Entries computed under
+    withdrawn links are keyed by the exact excluded-link set, which
+    makes hits exact across eras and flap rates.
+    """
+
+    SEGMENT_LIMIT = 64
+
+    def __init__(self) -> None:
+        # (asn, entry, target) -> segments on the intact topology
+        self._base: Dict[Tuple[int, int, int], List[list]] = {}
+        # (asn, entry, target, excluded link ids) -> degraded segments
+        self._degraded: Dict[Tuple[int, int, int, frozenset],
+                             List[list]] = {}
+
+    def base_segments(self, network: AsNetwork, entry: int,
+                      target: int) -> List[list]:
+        """Segments on the intact topology (warm SpfTable underneath)."""
+        key = (network.asn, entry, target)
+        segments = self._base.get(key)
+        if segments is None:
+            dag = network.spf.to_destination(target)
+            segments = dag.all_paths(entry, limit=self.SEGMENT_LIMIT)
+            self._base[key] = segments
+        return segments
+
+    def degraded_segments(self, network: AsNetwork, entry: int,
+                          target: int, excluded: frozenset
+                          ) -> List[list]:
+        """Segments with some links withdrawn (transient flaps).
+
+        Falls back to the intact segments when the exclusion would
+        disconnect the pair — a flap on the only path reconverges before
+        traffic is affected at our observation timescale.
+        """
+        key = (network.asn, entry, target, excluded)
+        segments = self._degraded.get(key)
+        if segments is None:
+            dag = spf_to(network.topology, target,
+                         excluded_links=excluded)
+            segments = dag.all_paths(entry, limit=self.SEGMENT_LIMIT)
+            if not segments:
+                segments = self.base_segments(network, entry, target)
+            self._degraded[key] = segments
+        return segments
+
+
 class Internet:
     """The assembled universe: AS graph + per-AS networks + addressing."""
 
@@ -468,6 +523,9 @@ class Internet:
         self.graph.validate()
         self.routing = BgpRouting(self.graph)
         self._apply_foreign_quirks()
+        # Shared by every DataPlane over this universe (topology-only
+        # state, so it stays valid across cycles and policy changes).
+        self.segment_cache = SegmentCache()
 
     def _register_addresses(self, network: AsNetwork) -> None:
         self.ip2as.add(infra_block(network.as_index), network.asn)
@@ -591,45 +649,6 @@ class Internet:
         """Apply per-AS MPLS policies (missing ASNs keep their current)."""
         for asn in sorted(policies):
             self.networks[asn].apply_policy(policies[asn])
-
-    def _sync_sr(self, policy: MplsPolicy) -> None:
-        """Reconcile the SR policy set with the cycle's configuration.
-
-        Policies are rebuilt from scratch (they carry no allocator
-        state — node SIDs are static), with waypoints drawn
-        deterministically from the core so the same configuration
-        always yields the same policies.
-        """
-        if self.sr is None:
-            return
-        self.sr.clear()
-        if not policy.uses_sr:
-            return
-        wanted_pairs = int(round(policy.sr_pair_fraction
-                                 * len(self._te_pair_order)))
-        core = sorted(
-            router_id for router_id, router in self.topology.routers.items()
-            if not router.is_border
-        ) or sorted(self.topology.routers)
-        for ingress, egress in self._te_pair_order[:wanted_pairs]:
-            for policy_id in range(policy.sr_policies_per_pair):
-                waypoints = []
-                for slot in range(policy.sr_waypoints):
-                    pick = core[
-                        flow_hash(self.spec.asn, 0x5E6, ingress, egress,
-                                  policy_id, slot) % len(core)
-                    ]
-                    if pick not in (ingress, egress) \
-                            and pick not in waypoints:
-                        waypoints.append(pick)
-                self.sr.install_policy(ingress, egress, waypoints)
-
-    def sr_policy_for(self, ingress: int, egress: int,
-                      dst_prefix: Prefix) -> Optional[SrPolicy]:
-        """The SR policy steering traffic to a prefix, if any."""
-        if self.sr is None or not self.policy.uses_sr:
-            return None
-        return self.sr.policy_for(ingress, egress, dst_prefix.network)
 
     def tick(self) -> None:
         """Advance per-cycle timers in every AS."""

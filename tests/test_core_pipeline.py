@@ -162,3 +162,25 @@ class TestPersistenceSweep:
         # re-injection, keeping the set; j=2: union rescues everything.
         assert points[0].kept_lsps == 2
         assert points[2].kept_lsps == 2
+
+    def test_sweep_matches_per_window_pipelines(self):
+        # The sweep shares one extraction across windows; every point
+        # must still equal a from-scratch pipeline run at that window.
+        snapshots = [snapshot(), [plain_trace("50.0.0.2")], snapshot()]
+        points = persistence_sweep(snapshots, mapper(), windows=(0, 1, 2))
+        for point in points:
+            pipeline = LprPipeline(mapper(),
+                                   persistence_window=point.window)
+            result = pipeline.process_snapshots(0, snapshots)
+            assert point.kept_lsps == \
+                result.filter_stats.after_persistence
+            assert point.classification.counts() == \
+                result.classification.counts()
+
+    def test_sweep_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            persistence_sweep([snapshot()], mapper(), windows=(1, -1))
+
+    def test_sweep_requires_primary(self):
+        with pytest.raises(ValueError):
+            persistence_sweep([], mapper(), windows=(0,))

@@ -140,6 +140,42 @@ class TestSpf:
         result = spf_to(topology, 3)
         assert len(result.all_paths(0, limit=1)) == 1
 
+    def test_path_count_survives_long_chains(self):
+        # Deeper than Python's default recursion limit: a recursive
+        # path_count would raise RecursionError here.
+        depth = 2000
+        topology = chain_topology(depth)
+        result = spf_to(topology, depth - 1)
+        assert result.path_count(0) == 1
+
+    def test_path_count_multiplies_across_stacked_diamonds(self):
+        # 40 diamonds in series: the DAG has 2**40 equal-cost paths,
+        # far beyond anything all_paths() could enumerate.
+        diamonds = 40
+        topology = Topology(asn=65000)
+        # Routers: joint j sits at id 3*j; each diamond adds an upper
+        # (3*j+1) and lower (3*j+2) branch router.
+        for j in range(diamonds + 1):
+            topology.add_router(Router(3 * j, loopback=10_000 + 3 * j))
+        address = 0
+
+        def pair():
+            nonlocal address
+            address += 2
+            return 20_000 + address - 2, 20_000 + address - 1
+
+        for j in range(diamonds):
+            upper, lower = 3 * j + 1, 3 * j + 2
+            topology.add_router(Router(upper, loopback=10_000 + upper))
+            topology.add_router(Router(lower, loopback=10_000 + lower))
+            for left, right in [(3 * j, upper), (3 * j, lower),
+                                (upper, 3 * j + 3), (lower, 3 * j + 3)]:
+                a, b = pair()
+                topology.add_link(left, right, a, b)
+
+        result = spf_to(topology, 3 * diamonds)
+        assert result.path_count(0) == 2 ** diamonds
+
     def test_spf_table_caches(self):
         topology = diamond_topology()
         table = SpfTable(topology)

@@ -193,6 +193,61 @@ class TestSnapshots:
         assert registry.counter("lsps_total").value(
             filter="incomplete") == 0
 
+    def test_absorb_reapplies_a_delta(self):
+        registry = self.build()
+        before = registry.snapshot()
+        registry.counter("lsps_total").inc(3, filter="incomplete")
+        registry.histogram("sizes").observe(2)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+
+        other = self.build()
+        other.absorb(delta)
+        assert other.counter("lsps_total").value(
+            filter="incomplete") == 10
+        cell = other.histogram("sizes").snapshot_cell()
+        assert cell["count"] == 2
+        assert cell["sum"] == 6.0
+
+    def test_absorb_sets_gauges(self):
+        registry = self.build()
+        registry.absorb({"level": {
+            "type": "gauge", "help": "",
+            "values": [{"labels": {}, "value": 9.0}]}})
+        assert registry.gauge("level").value() == 9.0
+
+    def test_absorb_creates_missing_metrics(self):
+        registry = MetricsRegistry()
+        registry.absorb(self.build().snapshot())
+        assert registry.counter("lsps_total").value(
+            filter="incomplete") == 7
+        assert registry.histogram("sizes").buckets == (1.0, 10.0)
+        assert registry.histogram("sizes").snapshot_cell()["count"] == 1
+
+    def test_absorb_round_trips_with_serial_totals(self):
+        # Two "shards" each diffed against their own baseline absorb
+        # into a fresh registry to the same totals as one serial run.
+        serial = MetricsRegistry()
+        parent = MetricsRegistry()
+        for rounds in (2, 3):
+            shard = MetricsRegistry()
+            before = shard.snapshot()
+            for _ in range(rounds):
+                shard.counter("cycles_total").inc()
+                serial.counter("cycles_total").inc()
+            parent.absorb(MetricsRegistry.diff(before, shard.snapshot()))
+        assert parent.snapshot() == serial.snapshot()
+
+    def test_absorb_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().absorb({"weird": {
+                "type": "summary", "values": []}})
+
+    def test_absorb_rejects_mismatched_histogram_cell(self):
+        registry = self.build()
+        with pytest.raises(ValueError):
+            registry.histogram("sizes").absorb_cell(
+                {"buckets": [1, 0], "sum": 0.5, "count": 1})
+
     def test_prometheus_text_format(self):
         text = to_prometheus(self.build())
         assert '# TYPE lsps_total counter' in text

@@ -1,0 +1,205 @@
+"""Tests for the parallel study runner (repro.par).
+
+The headline contract: a sharded run is byte-identical to a serial
+one — same per-cycle results, same regenerated artifacts, same merged
+metrics, same end-of-campaign simulator state — and the per-shard
+metrics deltas reconcile exactly with serial totals.
+"""
+
+import pytest
+
+from repro.analysis import LongitudinalStudy, Study, regenerate
+from repro.cli import main
+from repro.core.pipeline import run_study
+from repro.obs import MetricsRegistry
+from repro.par import Shard, StudySpec, build_study, shard_cycles
+
+SPEC = StudySpec(scale=0.25, seed=7, cycles=4, snapshots_per_cycle=2)
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_study(SPEC, workers=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    return run_study(SPEC, workers=2)
+
+
+class TestShardCycles:
+    def test_even_split(self):
+        assert shard_cycles(1, 8, 2) == [
+            Shard(shard_id=0, first=1, last=4),
+            Shard(shard_id=1, first=5, last=8),
+        ]
+
+    def test_remainder_goes_to_earlier_shards(self):
+        assert shard_cycles(1, 8, 3) == [
+            Shard(shard_id=0, first=1, last=3),
+            Shard(shard_id=1, first=4, last=6),
+            Shard(shard_id=2, first=7, last=8),
+        ]
+
+    def test_more_shards_than_cycles(self):
+        shards = shard_cycles(1, 2, 5)
+        assert len(shards) == 2
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_blocks_are_contiguous_and_cover_the_range(self):
+        for count in range(1, 7):
+            shards = shard_cycles(3, 17, count)
+            cycles = [c for shard in shards for c in shard.cycles]
+            assert cycles == list(range(3, 18))
+
+    def test_empty_range(self):
+        assert shard_cycles(5, 4, 3) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_cycles(1, 8, 0)
+
+    def test_shard_len_and_cycles(self):
+        shard = Shard(shard_id=0, first=4, last=6)
+        assert len(shard) == 3
+        assert list(shard.cycles) == [4, 5, 6]
+
+
+class TestByteIdentity:
+    def test_results_ordered_by_cycle(self, parallel_run):
+        assert [r.cycle for r in parallel_run.results] == [1, 2, 3, 4]
+
+    def test_cycle_results_identical(self, serial_run, parallel_run):
+        for serial, parallel in zip(serial_run.results,
+                                    parallel_run.results):
+            assert serial.stats == parallel.stats
+            assert serial.filter_stats == parallel.filter_stats
+            assert serial.classification.verdicts == \
+                parallel.classification.verdicts
+            assert serial.iotps.keys() == parallel.iotps.keys()
+
+    def test_cycle_metrics_deltas_identical(self, serial_run,
+                                            parallel_run):
+        for serial, parallel in zip(serial_run.results,
+                                    parallel_run.results):
+            assert serial.metrics == parallel.metrics
+
+    def test_merged_metrics_identical(self, serial_run, parallel_run):
+        merged_serial = MetricsRegistry.merge(
+            r.metrics for r in serial_run.results)
+        merged_parallel = MetricsRegistry.merge(
+            r.metrics for r in parallel_run.results)
+        assert merged_serial == merged_parallel
+
+    @pytest.mark.parametrize("artifact", [
+        "table1", "table2", "fig5a", "fig5b", "fig7", "fig13",
+    ])
+    def test_artifacts_byte_identical(self, serial_run, parallel_run,
+                                      artifact):
+        serial = _study(serial_run)
+        parallel = _study(parallel_run)
+        assert str(regenerate(serial, artifact)) == \
+            str(regenerate(parallel, artifact))
+
+    def test_post_study_artifact_byte_identical(self, serial_run,
+                                                parallel_run):
+        # Fig 6 re-runs a cycle on top of the campaign's end state, so
+        # it only matches when the parallel parent simulator was
+        # fast-forwarded to the same control-plane state.
+        assert str(regenerate(_study(serial_run), "fig6")) == \
+            str(regenerate(_study(parallel_run), "fig6"))
+
+    def test_simulator_end_state_identical(self, serial_run,
+                                           parallel_run):
+        assert _state_fingerprint(serial_run.simulator.internet) == \
+            _state_fingerprint(parallel_run.simulator.internet)
+
+
+class TestShardReconciliation:
+    def test_shard_accounting(self, parallel_run):
+        assert [s.shard_id for s in parallel_run.shards] == [0, 1]
+        assert sum(len(s.results) for s in parallel_run.shards) == \
+            SPEC.cycles
+        # Shard 0 starts at cycle 1 (no replay); shard 1 replays
+        # everything before its first cycle.
+        assert parallel_run.shards[0].replayed_cycles == 0
+        assert parallel_run.shards[1].replayed_cycles == 2
+
+    def test_dropped_lsp_deltas_sum_to_serial_totals(self, serial_run,
+                                                     parallel_run):
+        serial_drops = _summed_drops(
+            r.metrics for r in serial_run.results)
+        shard_drops = _summed_drops(
+            s.metrics_delta for s in parallel_run.shards)
+        assert shard_drops == serial_drops
+        assert shard_drops  # the study drops LSPs in every filter run
+
+    def test_serial_run_has_no_shards(self, serial_run):
+        assert serial_run.shards == []
+
+
+class TestFastForward:
+    def test_fast_forward_matches_run_cycles(self):
+        probed, _ = build_study(SPEC)
+        for cycle in (1, 2):
+            probed.run_cycle(cycle)
+        replayed, _ = build_study(SPEC)
+        replayed.fast_forward(1, 2)
+        assert _state_fingerprint(probed.internet) == \
+            _state_fingerprint(replayed.internet)
+
+    def test_empty_fast_forward_is_a_no_op(self):
+        simulator, _ = build_study(SPEC)
+        before = _state_fingerprint(simulator.internet)
+        simulator.fast_forward(1, 0)
+        assert _state_fingerprint(simulator.internet) == before
+
+
+class TestCliWorkers:
+    def test_workers_flag_accepted(self, capsys):
+        code = main(["study", "--cycles", "2", "--scale", "0.25",
+                     "--workers", "2", "--artifacts", "table1"])
+        assert code == 0
+        assert "== table1 ==" in capsys.readouterr().out
+
+    def test_workers_must_be_positive(self, capsys):
+        code = main(["study", "--cycles", "2", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+def _study(run):
+    return Study(simulator=run.simulator, pipeline=run.pipeline,
+                 longitudinal=LongitudinalStudy(run.results))
+
+
+def _state_fingerprint(internet):
+    """Every label allocator's position + every TE session's labels."""
+    state = []
+    for asn in sorted(internet.networks):
+        network = internet.networks[asn]
+        if network.labels is None:
+            state.append((asn, None))
+            continue
+        allocators = tuple(
+            (router, alloc._next, alloc.allocated_total,
+             tuple(sorted(alloc._in_use)))
+            for router, alloc in sorted(network.labels.allocators.items())
+        )
+        sessions = tuple(sorted(
+            (str(session.fec), tuple(sorted(session.labels.items())))
+            for session in network.rsvp._sessions.values()
+        )) if network.rsvp else ()
+        state.append((asn, allocators, sessions))
+    return state
+
+
+def _summed_drops(deltas):
+    """Per-filter lsps_dropped_total totals across an iterable of
+    registry deltas."""
+    totals = {}
+    for delta in deltas:
+        for entry in delta.get("lsps_dropped_total", {}).get("values", []):
+            key = entry["labels"]["filter"]
+            totals[key] = totals.get(key, 0) + entry["value"]
+    return totals
