@@ -72,7 +72,9 @@ class Study:
 def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            cycles: Optional[int] = None,
                            snapshots_per_cycle: int = 3,
-                           workers: int = 1) -> Study:
+                           workers: int = 1,
+                           checkpoint_dir=None,
+                           max_retries: int = 2) -> Study:
     """Run the paper's measurement campaign end to end.
 
     ``scale`` shrinks router/prefix counts for fast tests; ``cycles``
@@ -80,14 +82,19 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     the cycles over a process pool (`repro.par`) with byte-identical
     results; the returned study's simulator is left in the same
     end-of-campaign state either way, so the post-study experiments
-    (Figs 6, 16, 17) regenerate identically too.
+    (Figs 6, 16, 17) regenerate identically too.  ``checkpoint_dir``
+    makes the campaign restartable (finished shards are persisted and
+    replayed instead of re-run) and ``max_retries`` bounds how often a
+    crashed shard is re-dispatched before the study aborts.
     """
     spec = StudySpec(scale=scale, seed=seed, cycles=cycles or CYCLES,
                      snapshots_per_cycle=snapshots_per_cycle)
     _log.info("study.start", scale=scale, seed=seed, cycles=spec.cycles,
               workers=workers)
     with span("study.run", cycles=spec.cycles, workers=workers):
-        run = run_study(spec, workers=workers)
+        run = run_study(spec, workers=workers,
+                        checkpoint_dir=checkpoint_dir,
+                        max_retries=max_retries)
     _log.info("study.done", cycles=len(run.results))
     return Study(simulator=run.simulator, pipeline=run.pipeline,
                  longitudinal=LongitudinalStudy(run.results))

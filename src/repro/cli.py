@@ -46,7 +46,7 @@ from .obs import (
 )
 from .sim import ArkSimulator, paper_scenario
 from .traces import Trace
-from .warts import read_archive, write_archive
+from .warts import read_archive, salvage_archive, write_archive
 
 _log = get_logger(__name__)
 
@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--limit", type=int, default=5)
     show.add_argument("--mpls-only", action="store_true",
                       help="only traces crossing an explicit tunnel")
+    show.add_argument("--tolerant", action="store_true",
+                      help="salvage corrupt archives: skip bad records "
+                           "(reported by reason) instead of aborting")
 
     classify = sub.add_parser(
         "classify", help="run LPR over one cycle's archived snapshots")
@@ -90,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "one cycle")
     classify.add_argument("--persistence-window", type=int, default=2)
     classify.add_argument("--php-heuristic", action="store_true")
+    classify.add_argument("--tolerant", action="store_true",
+                          help="salvage corrupt snapshot archives "
+                               "instead of aborting")
 
     audit = sub.add_parser(
         "audit", help="per-AS usage report from archived snapshots")
@@ -111,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--profile", action="store_true",
                        help="time every pipeline stage and print a "
                             "per-stage breakdown table")
+    study.add_argument("--checkpoint-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="persist finished shards here; a restarted "
+                            "study replays only unfinished cycle "
+                            "ranges (keyed by the study spec's hash)")
+    study.add_argument("--max-retries", type=int, default=2,
+                       metavar="N",
+                       help="re-dispatch a crashed shard up to N times "
+                            "(exponential backoff) before aborting")
     return parser
 
 
@@ -133,7 +148,10 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_show(args) -> int:
-    traces = read_archive(args.archive)
+    if args.tolerant:
+        traces, skipped = salvage_archive(args.archive)
+    else:
+        traces, skipped = read_archive(args.archive), {}
     shown = 0
     for trace in traces:
         if args.mpls_only and not trace.has_mpls:
@@ -144,15 +162,27 @@ def cmd_show(args) -> int:
         if shown >= args.limit:
             break
     print(f"({shown} of {len(traces)} traces shown)")
+    if skipped:
+        print(_salvage_summary(skipped), file=sys.stderr)
     return 0
+
+
+def _salvage_summary(skipped: dict) -> str:
+    detail = ", ".join(f"{reason}={count}"
+                       for reason, count in sorted(skipped.items()))
+    return (f"salvage: skipped {sum(skipped.values())} corrupt "
+            f"record(s): {detail}")
 
 
 def cmd_classify(args) -> int:
     try:
-        ip2as, snapshots = _load_cycle(args.cycle_dir)
+        ip2as, snapshots, skipped = _load_cycle(
+            args.cycle_dir, tolerant=args.tolerant)
     except FileNotFoundError as error:
         print(error, file=sys.stderr)
         return 1
+    if skipped:
+        print(_salvage_summary(skipped), file=sys.stderr)
 
     pipeline = LprPipeline(
         ip2as, persistence_window=args.persistence_window,
@@ -195,9 +225,14 @@ def cmd_classify(args) -> int:
     return 0
 
 
-def _load_cycle(cycle_dir: Path
-                ) -> Tuple[Ip2AsMapper, List[List[Trace]]]:
-    """Read one simulated cycle (pfx2as table + every snapshot)."""
+def _load_cycle(cycle_dir: Path, tolerant: bool = False
+                ) -> Tuple[Ip2AsMapper, List[List[Trace]], dict]:
+    """Read one simulated cycle (pfx2as table + every snapshot).
+
+    ``tolerant`` salvages corrupt archives; the third return value
+    tallies the records skipped across all snapshots (empty in strict
+    mode — strict reads raise on the first corrupt record).
+    """
     snapshot_paths = sorted(cycle_dir.glob("snapshot-*.rwts"))
     if not snapshot_paths:
         raise FileNotFoundError(f"no snapshot-*.rwts under {cycle_dir}")
@@ -206,12 +241,22 @@ def _load_cycle(cycle_dir: Path
         raise FileNotFoundError(f"missing {pfx2as}")
     with open(pfx2as, "r", encoding="utf-8") as stream:
         ip2as = Ip2AsMapper.load(stream)
-    return ip2as, [read_archive(path) for path in snapshot_paths]
+    snapshots: List[List[Trace]] = []
+    skipped: dict = {}
+    for path in snapshot_paths:
+        if tolerant:
+            traces, skips = salvage_archive(path)
+            for reason, count in skips.items():
+                skipped[reason] = skipped.get(reason, 0) + count
+        else:
+            traces = read_archive(path)
+        snapshots.append(traces)
+    return ip2as, snapshots, skipped
 
 
 def cmd_audit(args) -> int:
     try:
-        ip2as, snapshots = _load_cycle(args.cycle_dir)
+        ip2as, snapshots, _ = _load_cycle(args.cycle_dir)
     except FileNotFoundError as error:
         print(error, file=sys.stderr)
         return 1
@@ -231,9 +276,15 @@ def cmd_study(args) -> int:
         print(f"--workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print(f"--max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
     study = run_longitudinal_study(scale=args.scale, seed=args.seed,
                                    cycles=args.cycles,
-                                   workers=args.workers)
+                                   workers=args.workers,
+                                   checkpoint_dir=args.checkpoint_dir,
+                                   max_retries=args.max_retries)
     for artifact in args.artifacts:
         print(f"\n{regenerate(study, artifact)}")
     if args.profile:

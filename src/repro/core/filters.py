@@ -113,7 +113,8 @@ def transit_diversity(lsps: Sequence[Lsp], ip2as: Ip2AsMapper
         lsp for lsp in lsps
         if (lsp.asn, lsp.entry, lsp.exit) in diverse_keys
     ]
-    return kept, {key: iotps[key] for key in diverse_keys}
+    return kept, {key: iotp for key, iotp in iotps.items()
+                  if key in diverse_keys}
 
 
 @dataclass
@@ -135,6 +136,10 @@ def persistence(lsps: Sequence[Lsp],
     labels on purpose (dynamic TE, §4.5): its whole LSP set is
     re-injected and the AS is tagged dynamic.
     """
+    if not follow_up_signatures:
+        # No follow-up data at all: the filter is a no-op (j = 0).
+        return PersistenceOutcome(kept=list(lsps), dynamic_ases=[])
+
     union: Set[LspSignature] = set()
     for signatures in follow_up_signatures:
         union |= signatures
@@ -149,15 +154,11 @@ def persistence(lsps: Sequence[Lsp],
         candidates = by_as[asn]
         survivors = [lsp for lsp in candidates
                      if lsp.signature in union]
-        if follow_up_signatures and candidates and (
-                len(survivors) < reinject_threshold * len(candidates)):
+        if len(survivors) < reinject_threshold * len(candidates):
             kept.extend(candidates)
             dynamic.append(asn)
         else:
             kept.extend(survivors)
-    if not follow_up_signatures:
-        # No follow-up data at all: the filter is a no-op (j = 0).
-        return PersistenceOutcome(kept=list(lsps), dynamic_ases=[])
     return PersistenceOutcome(kept=kept, dynamic_ases=dynamic)
 
 
@@ -191,7 +192,7 @@ def run_filters(lsps: Sequence[Lsp], ip2as: Ip2AsMapper,
                           filter="target_as")
 
     with span("filters.transit_diversity"):
-        diverse, _ = transit_diversity(transit, ip2as)
+        diverse, grouped = transit_diversity(transit, ip2as)
         stats.after_transit_diversity = len(diverse)
         _LSPS_DROPPED.inc(
             stats.after_target_as - stats.after_transit_diversity,
@@ -207,11 +208,19 @@ def run_filters(lsps: Sequence[Lsp], ip2as: Ip2AsMapper,
             filter="persistence")
         _ASES_REINJECTED.inc(len(outcome.dynamic_ases))
 
-    iotps = group_into_iotps(
-        (lsp, ip2as.lookup_single(lsp.dst)) for lsp in outcome.kept
-    )
+    if len(outcome.kept) == len(diverse):
+        # Persistence dropped nothing (every survivor or a full
+        # re-injection): the grouping TransitDiversity already built is
+        # exactly the grouping of the kept set — reuse it instead of a
+        # per-LSP lookup_single + regroup pass.
+        iotps = grouped
+    else:
+        iotps = group_into_iotps(
+            (lsp, ip2as.lookup_single(lsp.dst)) for lsp in outcome.kept
+        )
+    dynamic_ases = set(outcome.dynamic_ases)
     for iotp in iotps.values():
-        if iotp.asn in outcome.dynamic_ases:
+        if iotp.asn in dynamic_ases:
             iotp.dynamic = True
     _log.debug("filters.done", extracted=stats.extracted,
                survivors=stats.after_persistence,

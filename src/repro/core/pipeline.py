@@ -176,7 +176,7 @@ class LprPipeline:
         return [self.process_cycle(cycle_data) for cycle_data in run]
 
 
-def run_study(spec, workers: int = 1):
+def run_study(spec, workers: int = 1, **options):
     """Execute a full longitudinal campaign, optionally sharded.
 
     ``spec`` is a :class:`repro.par.StudySpec`; the return value is a
@@ -187,11 +187,15 @@ def run_study(spec, workers: int = 1):
     block's network state deterministically and the per-shard metrics
     deltas merge back into this process's registry — with byte-identical
     output either way (asserted in ``tests/test_par.py``).
+
+    Keyword ``options`` pass straight to
+    :func:`repro.par.runner.run_study` — fault tolerance knobs such as
+    ``max_retries``, ``checkpoint_dir`` and ``subdivide`` (DESIGN §8).
     """
     # Imported lazily: repro.par builds on this module and on repro.sim.
     from ..par.runner import run_study as run_sharded
 
-    return run_sharded(spec, workers=workers)
+    return run_sharded(spec, workers=workers, **options)
 
 
 @dataclass

@@ -18,11 +18,21 @@ have at its cycles.  This package provides that:
 The contract — asserted in ``tests/test_par.py`` — is that a run with
 ``workers=N`` produces **byte-identical** tables, figures,
 classifications and merged metrics to the serial run (DESIGN §6 and §8).
+
+The runner is also **fault tolerant**: failed shards retry with
+exponential backoff (and optional subdivision), completed shards can be
+checkpointed to disk and replayed on restart
+(:mod:`repro.par.checkpoint`), and :mod:`repro.par.faults` provides the
+test-only hooks that stage worker deaths so the recovery paths stay
+covered (``tests/test_par_faults.py``).
 """
 
 from .shard import Shard, shard_cycles
+from .checkpoint import CHECKPOINT_VERSION, CheckpointStore, spec_hash
+from .faults import KILL, RAISE, FaultInjected, FaultPlan, ShardFault
 from .runner import (
     ShardResult,
+    StudyFailure,
     StudyRun,
     StudySpec,
     build_study,
@@ -32,7 +42,16 @@ from .runner import (
 __all__ = [
     "Shard",
     "shard_cycles",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "spec_hash",
+    "KILL",
+    "RAISE",
+    "FaultInjected",
+    "FaultPlan",
+    "ShardFault",
     "ShardResult",
+    "StudyFailure",
     "StudyRun",
     "StudySpec",
     "build_study",

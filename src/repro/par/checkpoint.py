@@ -1,0 +1,146 @@
+"""Shard-granular checkpointing for restartable studies.
+
+A multi-hour campaign must not lose everything to one crash near the
+end.  Each completed shard's :class:`~repro.par.runner.ShardResult`
+(the ordered ``CycleResult`` list plus the shard's metrics delta) is
+persisted as soon as the parent collects it; a restarted study loads
+the finished shards back and dispatches only the missing cycle ranges.
+Because every shard is a pure function of ``(StudySpec, cycle range)``
+(DESIGN §6/§8), a resumed run is byte-identical to an uninterrupted one.
+
+Layout: ``<checkpoint-dir>/<spec-hash>/shard-<first>-<last>.ckpt``.
+The directory is **content-addressed by the spec hash**, and the hash
+is verified again inside each file, so a stale checkpoint from a
+different spec (other seed, scale, filter knobs, or format version) is
+*rejected* — counted in ``par_checkpoint_rejected_total{reason}`` —
+never silently reused.  Writes go through a temp file + ``os.replace``
+so a crash mid-write leaves no half-checkpoint behind; unreadable files
+degrade to a re-run of that shard, not an abort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from ..obs import get_logger, get_registry
+
+CHECKPOINT_VERSION = 1
+"""Bumped whenever the on-disk payload shape changes; old files are
+then rejected (reason ``version``) instead of mis-read."""
+
+_log = get_logger(__name__)
+_HITS = get_registry().counter(
+    "par_checkpoint_hits_total",
+    "Shards restored from a checkpoint instead of re-run")
+_MISSES = get_registry().counter(
+    "par_checkpoint_misses_total",
+    "Shard checkpoint lookups that found no file")
+_WRITES = get_registry().counter(
+    "par_checkpoint_writes_total",
+    "Shard checkpoints persisted to disk")
+_REJECTED = get_registry().counter(
+    "par_checkpoint_rejected_total",
+    "Checkpoint files rejected instead of reused, by reason")
+
+
+def spec_hash(spec) -> str:
+    """Content hash of a :class:`~repro.par.runner.StudySpec`.
+
+    The spec is plain numbers, so a sorted-key JSON dump is a canonical
+    byte form; the checkpoint format version is mixed in so a payload
+    change also invalidates old directories.
+    """
+    payload = json.dumps(
+        {"checkpoint_version": CHECKPOINT_VERSION, **asdict(spec)},
+        sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """Loads and saves shard results under one spec's directory."""
+
+    def __init__(self, root, spec):
+        self.spec_hash = spec_hash(spec)
+        self.directory = Path(root) / self.spec_hash
+
+    def path_for(self, first: int, last: int) -> Path:
+        return self.directory / f"shard-{first:04d}-{last:04d}.ckpt"
+
+    def load(self, first: int, last: int):
+        """The stored ShardResult for one cycle range, or None.
+
+        Anything short of a verified payload — missing file, truncated
+        or corrupt pickle, foreign spec hash, other format version —
+        returns None so the runner re-runs the shard.
+        """
+        path = self.path_for(first, last)
+        try:
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+        except FileNotFoundError:
+            _MISSES.inc()
+            return None
+        except Exception as error:  # garbage pickles fail arbitrarily
+            self._reject(path, "corrupt", error)
+            return None
+        return self._verify(path, payload)
+
+    def _verify(self, path: Path, payload) -> Optional[object]:
+        from .runner import ShardResult  # circular at module load time
+
+        if not isinstance(payload, dict):
+            return self._reject(path, "corrupt")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return self._reject(path, "version")
+        if payload.get("spec_hash") != self.spec_hash:
+            return self._reject(path, "spec_mismatch")
+        result = payload.get("result")
+        if not isinstance(result, ShardResult) or not result.results:
+            return self._reject(path, "corrupt")
+        _HITS.inc()
+        _log.info("checkpoint.hit", path=str(path),
+                  cycles=len(result.results))
+        return result
+
+    def _reject(self, path: Path, reason: str, error=None) -> None:
+        _REJECTED.inc(reason=reason)
+        _log.warning("checkpoint.rejected", path=str(path),
+                     reason=reason,
+                     **({"error": str(error)} if error else {}))
+        return None
+
+    def save(self, result) -> Path:
+        """Atomically persist one shard result; returns its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        first = result.results[0].cycle
+        last = result.results[-1].cycle
+        path = self.path_for(first, last)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "spec_hash": self.spec_hash,
+            "result": result,
+        }
+        handle, tmp = tempfile.mkstemp(dir=self.directory,
+                                       prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _WRITES.inc()
+        _log.info("checkpoint.written", path=str(path),
+                  cycles=len(result.results))
+        return path

@@ -1,0 +1,77 @@
+"""Test-only fault injection hooks for the study runner.
+
+Real campaigns die in ways a unit test can't trigger naturally: a worker
+process OOM-killed mid-shard, a transient exception deep in one cycle, a
+checkpoint file half-written by a crashed parent.  This module gives
+tests a deterministic way to stage those deaths so the recovery paths in
+:mod:`repro.par.runner` stay exercised (``tests/test_par_faults.py``,
+run as its own CI step).
+
+A :class:`FaultPlan` maps a shard's **first cycle** (stable across
+worker counts, unlike shard ids) to a :class:`ShardFault` saying how and
+when to fail.  Plans are plain frozen dataclasses so they pickle into
+worker processes; production runs simply pass no plan, and the hooks
+cost one ``is None`` check per cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+KILL = "kill"
+"""Terminate the worker process abruptly (``os._exit``) — what an
+OOM-kill or segfault looks like from the parent: a broken pool."""
+
+RAISE = "raise"
+"""Raise :class:`FaultInjected` inside the worker — an ordinary
+per-shard exception travelling back through the future."""
+
+
+class FaultInjected(RuntimeError):
+    """The exception an injected ``RAISE`` fault throws."""
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One staged failure.
+
+    ``attempts`` gates firing on the runner's retry counter, so a fault
+    that fires on attempt 0 only lets the retry succeed; ``after_cycles``
+    delays the death until that many of the shard's cycles finished
+    (mid-campaign kills leave partial work behind, the interesting case).
+    """
+
+    kind: str
+    attempts: Tuple[int, ...] = (0,)
+    after_cycles: int = 0
+
+    def __post_init__(self):
+        if self.kind not in (KILL, RAISE):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def maybe_fire(self, attempt: int, cycles_done: int) -> None:
+        """Fire iff this attempt is staged and enough cycles ran."""
+        if attempt in self.attempts and cycles_done == self.after_cycles:
+            self.fire()
+
+    def fire(self) -> None:
+        if self.kind == KILL:
+            os._exit(43)
+        raise FaultInjected(
+            f"injected worker failure (attempts {self.attempts})")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which shards fail, keyed by the shard's first cycle."""
+
+    by_first_cycle: Mapping[int, ShardFault] = field(default_factory=dict)
+
+    def for_shard(self, shard) -> Optional[ShardFault]:
+        return self.by_first_cycle.get(shard.first)
+
+    def for_cycle(self, cycle: int) -> Optional[ShardFault]:
+        """Serial runs treat every cycle as a one-cycle shard."""
+        return self.by_first_cycle.get(cycle)

@@ -16,19 +16,35 @@ with per-shard accounting counters), and finally fast-forwards a parent
 simulator through the whole campaign so that post-study experiments
 (Figs 6, 16, 17 re-run cycles on top of the end state) see the identical
 state a serial run leaves behind.
+
+The runner is **fault tolerant** (DESIGN §8):
+
+* a dead worker (``BrokenProcessPool``) or a per-shard exception marks
+  the shard failed, not the study; failed shards are re-dispatched with
+  exponential backoff up to ``max_retries`` times, optionally
+  subdivided into halves to route around a poisonous cycle block;
+* with ``checkpoint_dir`` set, every completed shard is persisted and
+  a restarted study replays only the missing cycle ranges
+  (:mod:`repro.par.checkpoint`);
+* both paths keep the headline guarantee: because each shard is a pure
+  function of ``(spec, cycle range)``, a retried, subdivided or resumed
+  run stays byte-identical to an uninterrupted serial one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.pipeline import CycleResult, LprPipeline
 from ..obs import get_logger, get_registry, span
 from ..sim import ArkSimulator
 from ..sim.scenarios import CYCLES, paper_scenario
+from .checkpoint import CheckpointStore
+from .faults import FaultPlan, ShardFault
 from .shard import Shard, shard_cycles
 
 _log = get_logger(__name__)
@@ -40,6 +56,16 @@ _SHARD_CYCLES = get_registry().counter(
 _CYCLES_REPLAYED = get_registry().counter(
     "par_cycles_replayed_total",
     "Cycles fast-forwarded (control-plane replay, no probes)")
+_SHARD_RETRIES = get_registry().counter(
+    "par_shard_retries_total",
+    "Shard re-dispatches after a worker death or shard exception")
+_SHARDS_FAILED = get_registry().counter(
+    "par_shards_failed_total",
+    "Shards that exhausted their retry budget (aborts the study)")
+
+
+class StudyFailure(RuntimeError):
+    """A shard kept failing after every retry; the study aborted."""
 
 
 @dataclass(frozen=True)
@@ -95,17 +121,20 @@ class StudyRun:
     """Per-shard accounting of a parallel run (empty when serial)."""
 
 
-def _run_shard(args: Tuple[StudySpec, Shard]) -> ShardResult:
+def _run_shard(
+    args: Tuple[StudySpec, Shard, int, Optional[ShardFault]]
+) -> ShardResult:
     """Worker entry: reconstruct state, run the shard's cycles locally."""
-    spec, shard = args
+    spec, shard, attempt, fault = args
     simulator, pipeline = build_study(spec)
     registry = get_registry()
     before = registry.snapshot()
     simulator.fast_forward(1, shard.first - 1)
-    results = [
-        pipeline.process_cycle(simulator.run_cycle(cycle))
-        for cycle in shard.cycles
-    ]
+    results: List[CycleResult] = []
+    for index, cycle in enumerate(shard.cycles):
+        if fault is not None:
+            fault.maybe_fire(attempt, index)
+        results.append(pipeline.process_cycle(simulator.run_cycle(cycle)))
     return ShardResult(
         shard_id=shard.shard_id,
         results=results,
@@ -124,40 +153,104 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
-def run_study(spec: StudySpec, workers: int = 1) -> StudyRun:
+def run_study(spec: StudySpec, workers: int = 1, *,
+              max_retries: int = 2,
+              backoff_base: float = 0.5,
+              subdivide: bool = True,
+              checkpoint_dir=None,
+              fault_plan: Optional[FaultPlan] = None,
+              sleep: Callable[[float], None] = time.sleep) -> StudyRun:
     """Execute a campaign, sharded over ``workers`` processes.
 
     Results come back ordered by cycle whatever the pool's scheduling,
     and each shard's metrics delta is absorbed into this process's
     registry, so counters reconcile exactly with a serial run.
+
+    Failure handling: a shard whose worker dies or raises is
+    re-dispatched up to ``max_retries`` times, sleeping
+    ``backoff_base * 2^round`` seconds between rounds (``sleep`` is
+    injectable for tests); multi-cycle shards are additionally split
+    into halves on retry when ``subdivide`` is set, so a single bad
+    allocation or kill costs only part of the work.  When every retry
+    is exhausted the study aborts with :class:`StudyFailure`.
+
+    With ``checkpoint_dir`` set, finished shards (or, serially, single
+    cycles) are persisted through a :class:`CheckpointStore` and a
+    restarted run replays only the missing cycle ranges — byte-identical
+    output either way.  ``fault_plan`` is the test-only injection hook
+    (:mod:`repro.par.faults`); production runs leave it None.
     """
+    if max_retries < 0:
+        raise ValueError(f"negative max_retries: {max_retries}")
+    store = (CheckpointStore(checkpoint_dir, spec)
+             if checkpoint_dir is not None else None)
     if workers <= 1:
-        simulator, pipeline = build_study(spec)
-        results = [
-            pipeline.process_cycle(simulator.run_cycle(cycle))
-            for cycle in range(1, spec.cycles + 1)
-        ]
-        return StudyRun(simulator=simulator, pipeline=pipeline,
-                        results=results)
+        return _run_serial(spec, store, fault_plan)
 
     shards = shard_cycles(1, spec.cycles, workers)
     _log.info("par.study.start", cycles=spec.cycles, workers=workers,
               shards=len(shards))
     with span("par.study", cycles=spec.cycles, shards=len(shards)):
-        with ProcessPoolExecutor(max_workers=len(shards),
-                                 mp_context=_pool_context()) as pool:
-            shard_results = list(pool.map(
-                _run_shard, [(spec, shard) for shard in shards]))
+        completed: List[ShardResult] = []
+        pending: List[Shard] = []
+        attempts: Dict[Shard, int] = {}
+        next_id = len(shards)
+        for shard in shards:
+            cached = (store.load(shard.first, shard.last)
+                      if store is not None else None)
+            if cached is not None:
+                completed.append(cached)
+            else:
+                pending.append(shard)
+                attempts[shard] = 0
+
+        round_index = 0
+        while pending:
+            if round_index > 0:
+                delay = backoff_base * (2 ** (round_index - 1))
+                if delay > 0:
+                    sleep(delay)
+            executed, failed = _dispatch(spec, pending, workers,
+                                         attempts, fault_plan)
+            for result in executed:
+                _SHARDS_RUN.inc()
+                _SHARD_CYCLES.inc(len(result.results),
+                                  shard=result.shard_id)
+                _CYCLES_REPLAYED.inc(result.replayed_cycles)
+                if store is not None:
+                    store.save(result)
+                completed.append(result)
+            retry: List[Shard] = []
+            for shard, error in failed:
+                attempt = attempts.pop(shard)
+                if attempt >= max_retries:
+                    _SHARDS_FAILED.inc()
+                    raise StudyFailure(
+                        f"shard of cycles {shard.first}-{shard.last} "
+                        f"failed after {attempt + 1} attempts: {error}"
+                    ) from error
+                _SHARD_RETRIES.inc(shard=shard.shard_id)
+                _log.warning("par.shard.retry", shard=shard.shard_id,
+                             first=shard.first, last=shard.last,
+                             attempt=attempt + 1, error=str(error))
+                if subdivide and len(shard) > 1:
+                    for half in shard_cycles(shard.first, shard.last, 2):
+                        child = Shard(shard_id=next_id,
+                                      first=half.first, last=half.last)
+                        next_id += 1
+                        attempts[child] = attempt + 1
+                        retry.append(child)
+                else:
+                    attempts[shard] = attempt + 1
+                    retry.append(shard)
+            pending = retry
+            round_index += 1
 
         registry = get_registry()
         results: List[CycleResult] = []
-        for shard_result in sorted(shard_results,
-                                   key=lambda r: r.shard_id):
+        completed.sort(key=lambda r: r.results[0].cycle)
+        for shard_result in completed:
             registry.absorb(shard_result.metrics_delta)
-            _SHARDS_RUN.inc()
-            _SHARD_CYCLES.inc(len(shard_result.results),
-                              shard=shard_result.shard_id)
-            _CYCLES_REPLAYED.inc(shard_result.replayed_cycles)
             results.extend(shard_result.results)
 
         # The parent simulator never probed, but post-study experiments
@@ -168,6 +261,74 @@ def run_study(spec: StudySpec, workers: int = 1) -> StudyRun:
         with span("par.fast_forward", cycles=spec.cycles):
             simulator.fast_forward(1, spec.cycles)
     _log.info("par.study.done", cycles=len(results),
-              shards=len(shard_results))
+              shards=len(completed))
     return StudyRun(simulator=simulator, pipeline=pipeline,
-                    results=results, shards=shard_results)
+                    results=results, shards=completed)
+
+
+def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
+              attempts: Dict[Shard, int],
+              fault_plan: Optional[FaultPlan]
+              ) -> Tuple[List[ShardResult],
+                         List[Tuple[Shard, BaseException]]]:
+    """One pool round: run every shard once, sorting survivors from
+    casualties.  A broken pool (worker killed) fails every shard that
+    had not finished; the pool itself is rebuilt next round."""
+    executed: List[ShardResult] = []
+    failed: List[Tuple[Shard, BaseException]] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(shards)),
+                             mp_context=_pool_context()) as pool:
+        futures = {
+            pool.submit(
+                _run_shard,
+                (spec, shard, attempts[shard],
+                 fault_plan.for_shard(shard) if fault_plan else None),
+            ): shard
+            for shard in shards
+        }
+        for future in as_completed(futures):
+            shard = futures[future]
+            try:
+                executed.append(future.result())
+            except Exception as error:  # incl. BrokenProcessPool
+                failed.append((shard, error))
+    return executed, failed
+
+
+def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
+                fault_plan: Optional[FaultPlan]) -> StudyRun:
+    """The in-process loop, with optional per-cycle checkpointing.
+
+    Serially each cycle is its own checkpoint unit: a resumed run
+    fast-forwards the control plane through checkpointed cycles (no
+    probing) and absorbs their stored metrics deltas, so registry
+    totals and results match an uninterrupted run exactly.
+    """
+    simulator, pipeline = build_study(spec)
+    registry = get_registry()
+    results: List[CycleResult] = []
+    for cycle in range(1, spec.cycles + 1):
+        cached = (store.load(cycle, cycle)
+                  if store is not None else None)
+        if cached is not None:
+            simulator.fast_forward(cycle, cycle)
+            registry.absorb(cached.metrics_delta)
+            results.extend(cached.results)
+            continue
+        if fault_plan is not None:
+            fault = fault_plan.for_cycle(cycle)
+            if fault is not None:
+                fault.maybe_fire(0, 0)
+        before = registry.snapshot() if store is not None else None
+        result = pipeline.process_cycle(simulator.run_cycle(cycle))
+        results.append(result)
+        if store is not None:
+            store.save(ShardResult(
+                shard_id=cycle - 1,
+                results=[result],
+                metrics_delta=registry.diff(before,
+                                            registry.snapshot()),
+                replayed_cycles=0,
+            ))
+    return StudyRun(simulator=simulator, pipeline=pipeline,
+                    results=results)

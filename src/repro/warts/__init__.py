@@ -1,12 +1,14 @@
 """Warts-like trace archive codecs (binary and JSON-lines)."""
 
 from .format import (
+    MAX_RECORD_LENGTH,
     WartsError,
     WartsReader,
     WartsWriter,
     decode_trace,
     encode_trace,
     read_archive,
+    salvage_archive,
     write_archive,
 )
 from .jsonl import (
@@ -19,12 +21,14 @@ from .jsonl import (
 )
 
 __all__ = [
+    "MAX_RECORD_LENGTH",
     "WartsError",
     "WartsReader",
     "WartsWriter",
     "decode_trace",
     "encode_trace",
     "read_archive",
+    "salvage_archive",
     "write_archive",
     "dump_jsonl",
     "load_jsonl",

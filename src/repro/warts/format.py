@@ -23,20 +23,38 @@ Layout (all integers big-endian):
           u8  LSE count, then u32 wire LSEs (present iff has labels)
 
 The format is self-framing: a reader can skip unknown records by length,
-and truncated files fail loudly with :class:`WartsError`.
+and truncated files fail loudly with :class:`WartsError`.  Real measurement
+archives are messier — CAIDA ships partial ``.warts.gz`` files, transfers
+truncate, disks corrupt — so :class:`WartsReader` also offers an opt-in
+``tolerant=True`` *salvage* mode that skips corrupt records (bounded
+lengths, magic-based resync, decode errors) instead of aborting, counting
+every skip by reason in ``warts_records_skipped_total{reason}``.
 """
 
 from __future__ import annotations
 
 import gzip
 import struct
-from typing import BinaryIO, Iterator, List
+from typing import BinaryIO, Dict, Iterator, List, Tuple
 
 from ..mpls.lse import LabelStackEntry
+from ..obs import get_logger, get_registry
 from ..traces import StopReason, Trace, TraceHop
 
 MAGIC = b"RWTS"
 VERSION = 2
+
+MAX_RECORD_LENGTH = 16 * 1024 * 1024
+"""Upper bound on one record's claimed length.  A corrupt u32 near 2^32
+must never turn into a multi-GB allocation: real traces are a few KiB,
+so anything above this cap is treated as framing corruption."""
+
+_RESYNC_CHUNK = 1 << 16
+
+_log = get_logger(__name__)
+_RECORDS_SKIPPED = get_registry().counter(
+    "warts_records_skipped_total",
+    "Corrupt archive records skipped by tolerant readers, by reason")
 
 _STOP_CODES = {reason: code for code, reason in enumerate(StopReason)}
 _STOP_REASONS = {code: reason for reason, code in _STOP_CODES.items()}
@@ -169,29 +187,123 @@ class WartsWriter:
 
 
 class WartsReader:
-    """Iterates traces out of a binary archive."""
+    """Iterates traces out of a binary archive.
 
-    def __init__(self, stream: BinaryIO):
+    Strict by default: any framing or decode problem raises
+    :class:`WartsError`.  With ``tolerant=True`` the reader *salvages*
+    instead — every intact record is yielded and each corrupt one is
+    skipped and tallied in :attr:`skipped` (and the
+    ``warts_records_skipped_total{reason}`` counter):
+
+    * ``oversized_length`` — the length prefix exceeds
+      :data:`MAX_RECORD_LENGTH`; the framing is untrustworthy, so the
+      reader scans forward for the next embedded file header (magic +
+      version) and resumes there;
+    * ``truncated_length`` / ``truncated_body`` — the archive ends
+      mid-record (a partial transfer); reading stops cleanly;
+    * ``decode_error`` — the record body is well-framed but does not
+      parse; only that record is lost.
+    """
+
+    def __init__(self, stream: BinaryIO, tolerant: bool = False):
         self._stream = stream
-        header = stream.read(6)
+        self._buffer = b""
+        self.tolerant = tolerant
+        self.skipped: Dict[str, int] = {}
+        header = self._read(6)
         if len(header) != 6 or header[:4] != MAGIC:
             raise WartsError("not a warts-like archive (bad magic)")
         (version,) = struct.unpack("!H", header[4:])
         if version != VERSION:
             raise WartsError(f"unsupported version {version}")
 
+    def _read(self, count: int) -> bytes:
+        """Up to ``count`` bytes, short only at end of stream."""
+        while len(self._buffer) < count:
+            chunk = self._stream.read(count - len(self._buffer))
+            if not chunk:
+                break
+            self._buffer += chunk
+        out = self._buffer[:count]
+        self._buffer = self._buffer[count:]
+        return out
+
+    def _skip(self, reason: str) -> None:
+        self.skipped[reason] = self.skipped.get(reason, 0) + 1
+        _RECORDS_SKIPPED.inc(reason=reason)
+        _log.warning("warts.record.skipped", reason=reason)
+
+    def _resync(self) -> bool:
+        """Scan forward for an embedded file header; position after it.
+
+        The record stream is length-prefixed with no per-record marker,
+        so once a length prefix is corrupt the only trustworthy anchor
+        is the next ``MAGIC`` + version sequence (archives are often
+        produced by concatenating files).  Returns False at end of
+        stream with no anchor found.
+        """
+        window = self._buffer
+        self._buffer = b""
+        while True:
+            index = window.find(MAGIC)
+            if index >= 0:
+                rest = window[index + len(MAGIC):]
+                while len(rest) < 2:
+                    chunk = self._stream.read(_RESYNC_CHUNK)
+                    if not chunk:
+                        return False
+                    rest += chunk
+                (version,) = struct.unpack("!H", rest[:2])
+                if version == VERSION:
+                    self._buffer = rest[2:]
+                    return True
+                window = rest  # false positive; keep scanning after it
+                continue
+            # Keep a possible magic prefix straddling the chunk border.
+            window = window[-(len(MAGIC) - 1):]
+            chunk = self._stream.read(_RESYNC_CHUNK)
+            if not chunk:
+                return False
+            window += chunk
+
     def __iter__(self) -> Iterator[Trace]:
         while True:
-            length_bytes = self._stream.read(4)
+            length_bytes = self._read(4)
             if not length_bytes:
                 return
             if len(length_bytes) != 4:
+                if self.tolerant:
+                    self._skip("truncated_length")
+                    return
                 raise WartsError("truncated record length")
             (length,) = struct.unpack("!I", length_bytes)
-            body = self._stream.read(length)
+            if length > MAX_RECORD_LENGTH:
+                if self.tolerant:
+                    self._skip("oversized_length")
+                    # The four length bytes may themselves start an
+                    # embedded file header (concatenated archives) —
+                    # let the resync scan see them again.
+                    self._buffer = length_bytes + self._buffer
+                    if not self._resync():
+                        return
+                    continue
+                raise WartsError(
+                    f"record length {length} exceeds the "
+                    f"{MAX_RECORD_LENGTH}-byte cap (corrupt archive?)")
+            body = self._read(length)
             if len(body) != length:
+                if self.tolerant:
+                    self._skip("truncated_body")
+                    return
                 raise WartsError("truncated record body")
-            yield decode_trace(body)
+            try:
+                trace = decode_trace(body)
+            except WartsError:
+                if self.tolerant:
+                    self._skip("decode_error")
+                    continue
+                raise
+            yield trace
 
 
 def _opener(path, mode: str):
@@ -210,7 +322,21 @@ def write_archive(path, traces) -> int:
         return writer.written
 
 
-def read_archive(path) -> List[Trace]:
-    """Read every trace from a (possibly gzipped) file."""
+def read_archive(path, tolerant: bool = False) -> List[Trace]:
+    """Read every trace from a (possibly gzipped) file.
+
+    ``tolerant=True`` salvages what it can from a corrupt archive
+    instead of raising (see :class:`WartsReader`); use
+    :func:`salvage_archive` when the skip tally is needed too.
+    """
     with _opener(path, "rb") as stream:
-        return list(WartsReader(stream))
+        return list(WartsReader(stream, tolerant=tolerant))
+
+
+def salvage_archive(path) -> Tuple[List[Trace], Dict[str, int]]:
+    """Tolerantly read a (possibly gzipped) file; also return the
+    per-reason tally of corrupt records skipped."""
+    with _opener(path, "rb") as stream:
+        reader = WartsReader(stream, tolerant=True)
+        traces = list(reader)
+        return traces, dict(reader.skipped)

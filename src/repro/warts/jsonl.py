@@ -53,7 +53,7 @@ def trace_from_dict(data: dict) -> Trace:
             quoted_stack=tuple(
                 LabelStackEntry(label=e["label"], tc=e["tc"],
                                 bottom=e["bottom"], ttl=e["ttl"])
-                for e in hop["mpls"]
+                for e in hop.get("mpls", [])
             ),
         )
         for hop in data["hops"]

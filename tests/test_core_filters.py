@@ -166,6 +166,21 @@ class TestPersistence:
         assert outcome.kept == lsps
         assert outcome.dynamic_ases == []
 
+    def test_j_zero_pins_noop_semantics(self):
+        # Regression: the j=0 early return must short-circuit before
+        # any bucketing/re-injection — an empty window never tags an AS
+        # dynamic, keeps every LSP in input order, and returns a fresh
+        # list (not the caller's).
+        lsps = [make_lsp(entry=f"10.1.1.{i}", asn=AS_A)
+                for i in range(10)]
+        lsps += [make_lsp(hops=(("10.2.0.2", 100),),
+                          entry=f"10.2.1.{i}", asn=AS_B)
+                 for i in range(3)]
+        outcome = persistence(lsps, [])
+        assert outcome.kept == list(lsps)
+        assert outcome.kept is not lsps
+        assert outcome.dynamic_ases == []
+
 
 class TestRunFilters:
     def test_full_pipeline_counts(self):
@@ -195,6 +210,51 @@ class TestRunFilters:
                                    follow_up_signatures=[set()])
         assert stats.reinjected_ases == [AS_A]
         assert all(iotp.dynamic for iotp in iotps.values())
+
+    def test_grouping_reuse_matches_regroup(self):
+        # When persistence drops nothing, run_filters reuses the
+        # grouping TransitDiversity built.  Pin that shortcut to the
+        # regroup it replaces: same keys, same per-IOTP LSP sets, same
+        # destination ASes.
+        ip2as = mapper()
+        lsps = [
+            make_lsp(hops=(("10.1.0.2", 100 + i), ("10.1.0.3", 200)),
+                     dst=f"50.{i % 2}.0.{i + 1}")
+            for i in range(6)
+        ]
+        follow = [{lsp.with_asn(AS_A).signature for lsp in lsps}]
+        iotps, stats = run_filters(lsps, ip2as, follow)
+        assert stats.after_persistence == stats.after_transit_diversity
+
+        annotated = [lsp.with_asn(AS_A) for lsp in lsps]
+        from repro.core.model import group_into_iotps
+        expected = group_into_iotps(
+            (lsp, ip2as.lookup_single(lsp.dst)) for lsp in annotated)
+        assert iotps.keys() == expected.keys()
+        for key in expected:
+            assert iotps[key].lsps.keys() == expected[key].lsps.keys()
+            assert iotps[key].dst_asns == expected[key].dst_asns
+
+    def test_partial_persistence_regroups(self):
+        # When persistence does drop LSPs, the IOTPs must be rebuilt
+        # from the survivors only — the TransitDiversity grouping would
+        # overstate tunnel width.
+        ip2as = mapper()
+        lsps = [
+            make_lsp(hops=(("10.1.0.2", 100 + i), ("10.1.0.3", 200)),
+                     dst=f"50.{i % 2}.0.{i + 1}")
+            for i in range(10)
+        ]
+        # 3 of 10 reappear: above the 10% re-injection bar, so exactly
+        # the three survivors are kept.
+        follow = [{lsp.with_asn(AS_A).signature for lsp in lsps[:3]}]
+        iotps, stats = run_filters(lsps, ip2as, follow)
+        assert stats.after_transit_diversity == 10
+        assert stats.after_persistence == 3
+        assert len(iotps) == 1
+        (iotp,) = iotps.values()
+        assert iotp.width == 3
+        assert not iotp.dynamic
 
     def test_proportions(self):
         ip2as = mapper()

@@ -138,6 +138,39 @@ class TestShardReconciliation:
         assert serial_run.shards == []
 
 
+class TestOversubscription:
+    """workers >= cycles: shards clamp to one cycle each, idle worker
+    slots are simply never used, and output stays byte-identical."""
+
+    def test_workers_equal_cycles(self, serial_run):
+        run = run_study(SPEC, workers=SPEC.cycles)
+        assert len(run.shards) == SPEC.cycles
+        assert all(len(s.results) == 1 for s in run.shards)
+        for serial, parallel in zip(serial_run.results, run.results):
+            assert serial.stats == parallel.stats
+            assert serial.metrics == parallel.metrics
+
+    def test_workers_exceed_cycles(self, serial_run):
+        run = run_study(SPEC, workers=SPEC.cycles * 2)
+        # shard_cycles clamps: never more (or emptier) shards than
+        # cycles, so no worker ever receives an empty range.
+        assert len(run.shards) == SPEC.cycles
+        assert [r.cycle for r in run.results] == \
+            [r.cycle for r in serial_run.results]
+        for serial, parallel in zip(serial_run.results, run.results):
+            assert serial.stats == parallel.stats
+            assert serial.filter_stats == parallel.filter_stats
+            assert serial.classification.verdicts == \
+                parallel.classification.verdicts
+            assert serial.metrics == parallel.metrics
+
+    def test_shard_cycles_never_returns_empty_shards(self):
+        for workers in range(1, 12):
+            shards = shard_cycles(1, SPEC.cycles, workers)
+            assert all(len(shard) >= 1 for shard in shards)
+            assert len(shards) == min(workers, SPEC.cycles)
+
+
 class TestFastForward:
     def test_fast_forward_matches_run_cycles(self):
         probed, _ = build_study(SPEC)

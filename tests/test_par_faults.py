@@ -1,0 +1,220 @@
+"""Fault-injection tests for the study runner's recovery paths.
+
+Three failure families, staged deterministically via repro.par.faults:
+
+* **worker death / shard exceptions** — a killed worker (broken pool)
+  or an exception inside a shard is retried with backoff (optionally
+  subdividing the shard), and the finished study stays byte-identical
+  to a serial run;
+* **checkpoint/resume** — an interrupted campaign restarted with the
+  same ``checkpoint_dir`` replays only the unfinished cycle ranges,
+  and stale or corrupt checkpoints are rejected, never reused;
+* **archive salvage** — a truncated/corrupted warts archive read
+  tolerantly yields every intact record and tallies each skip.
+
+CI runs this file as its own job step so regressions in recovery
+fail the build, not a production campaign.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.pipeline import run_study
+from repro.obs import get_registry
+from repro.par import (
+    KILL,
+    RAISE,
+    CheckpointStore,
+    FaultInjected,
+    FaultPlan,
+    ShardFault,
+    StudyFailure,
+    StudySpec,
+    spec_hash,
+)
+from repro.warts.format import WartsError, WartsReader, write_archive
+
+SPEC = StudySpec(scale=0.25, seed=7, cycles=4, snapshots_per_cycle=2)
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_study(SPEC, workers=1)
+
+
+def _counter_total(name, **labels):
+    metric = get_registry().get(name)
+    if metric is None:
+        return 0
+    if labels:
+        return metric.value(**labels)
+    return sum(value for _, value in metric.labelled_values())
+
+
+def _assert_identical(serial, recovered):
+    """The byte-identity contract, shard scheduling notwithstanding."""
+    assert [r.cycle for r in recovered.results] == \
+        [r.cycle for r in serial.results]
+    for expected, actual in zip(serial.results, recovered.results):
+        assert expected.stats == actual.stats
+        assert expected.filter_stats == actual.filter_stats
+        assert expected.classification.verdicts == \
+            actual.classification.verdicts
+        assert expected.iotps.keys() == actual.iotps.keys()
+        assert expected.metrics == actual.metrics
+
+
+class TestWorkerKill:
+    def test_killed_worker_is_retried_to_identical_output(
+            self, serial_run):
+        # The worker running cycles 3-4 dies (os._exit) after one
+        # cycle — the pool breaks, the shard retries, output matches.
+        plan = FaultPlan({3: ShardFault(kind=KILL, attempts=(0,),
+                                        after_cycles=1)})
+        before = _counter_total("par_shard_retries_total")
+        run = run_study(SPEC, workers=2, fault_plan=plan,
+                        backoff_base=0.0, subdivide=False)
+        assert _counter_total("par_shard_retries_total") > before
+        _assert_identical(serial_run, run)
+
+    def test_shard_exception_is_retried(self, serial_run):
+        plan = FaultPlan({3: ShardFault(kind=RAISE, attempts=(0,))})
+        run = run_study(SPEC, workers=2, fault_plan=plan,
+                        backoff_base=0.0, subdivide=False)
+        _assert_identical(serial_run, run)
+
+    def test_subdivision_splits_failed_shard(self, serial_run):
+        plan = FaultPlan({1: ShardFault(kind=RAISE, attempts=(0,))})
+        run = run_study(SPEC, workers=2, fault_plan=plan,
+                        backoff_base=0.0, subdivide=True)
+        # Shard 1-2 failed once and came back as two one-cycle halves.
+        assert len(run.shards) == 3
+        ranges = sorted((s.results[0].cycle, s.results[-1].cycle)
+                        for s in run.shards)
+        assert ranges == [(1, 1), (2, 2), (3, 4)]
+        _assert_identical(serial_run, run)
+
+    def test_exhausted_retries_abort_the_study(self):
+        plan = FaultPlan({3: ShardFault(kind=RAISE,
+                                        attempts=(0, 1, 2, 3))})
+        before = _counter_total("par_shards_failed_total")
+        with pytest.raises(StudyFailure):
+            run_study(SPEC, workers=2, fault_plan=plan, max_retries=1,
+                      backoff_base=0.0, subdivide=False)
+        assert _counter_total("par_shards_failed_total") == before + 1
+
+    def test_backoff_grows_exponentially(self, serial_run):
+        delays = []
+        plan = FaultPlan({3: ShardFault(kind=RAISE, attempts=(0, 1))})
+        run = run_study(SPEC, workers=2, fault_plan=plan,
+                        max_retries=2, backoff_base=0.25,
+                        subdivide=False, sleep=delays.append)
+        assert delays == [0.25, 0.5]
+        _assert_identical(serial_run, run)
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_study(SPEC, workers=2, max_retries=-1)
+
+
+class TestCheckpointResume:
+    def test_second_run_replays_from_checkpoints(self, serial_run,
+                                                 tmp_path):
+        before_writes = _counter_total("par_checkpoint_writes_total")
+        run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        assert _counter_total("par_checkpoint_writes_total") == \
+            before_writes + 2
+        before_hits = _counter_total("par_checkpoint_hits_total")
+        resumed = run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        assert _counter_total("par_checkpoint_hits_total") == \
+            before_hits + 2
+        _assert_identical(serial_run, resumed)
+
+    def test_interrupt_then_resume_runs_only_missing_shards(
+            self, serial_run, tmp_path):
+        # First attempt: the shard at cycles 3-4 always fails, so the
+        # study aborts — but cycles 1-2 were already checkpointed.
+        plan = FaultPlan({3: ShardFault(kind=RAISE,
+                                        attempts=(0, 1, 2, 3))})
+        with pytest.raises(StudyFailure):
+            run_study(SPEC, workers=2, checkpoint_dir=tmp_path,
+                      fault_plan=plan, max_retries=0,
+                      backoff_base=0.0, subdivide=False)
+        store = CheckpointStore(tmp_path, SPEC)
+        assert store.path_for(1, 2).exists()
+        assert not store.path_for(3, 4).exists()
+
+        before_hits = _counter_total("par_checkpoint_hits_total")
+        resumed = run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        assert _counter_total("par_checkpoint_hits_total") == \
+            before_hits + 1
+        _assert_identical(serial_run, resumed)
+
+    def test_corrupt_checkpoint_is_rejected_and_rerun(
+            self, serial_run, tmp_path):
+        run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path, SPEC)
+        store.path_for(1, 2).write_bytes(b"not a checkpoint at all")
+        before = _counter_total("par_checkpoint_rejected_total",
+                                reason="corrupt")
+        resumed = run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        assert _counter_total("par_checkpoint_rejected_total",
+                              reason="corrupt") == before + 1
+        _assert_identical(serial_run, resumed)
+
+    def test_foreign_spec_checkpoint_is_rejected(self, tmp_path):
+        run_study(SPEC, workers=2, checkpoint_dir=tmp_path)
+        other_spec = StudySpec(scale=0.25, seed=8, cycles=4,
+                               snapshots_per_cycle=2)
+        assert spec_hash(SPEC) != spec_hash(other_spec)
+        # Smuggle SPEC's checkpoint into the other spec's directory —
+        # the embedded hash check must still reject it.
+        source = CheckpointStore(tmp_path, SPEC)
+        target = CheckpointStore(tmp_path, other_spec)
+        target.directory.mkdir(parents=True, exist_ok=True)
+        shutil.copy(source.path_for(1, 2), target.path_for(1, 2))
+        before = _counter_total("par_checkpoint_rejected_total",
+                                reason="spec_mismatch")
+        assert target.load(1, 2) is None
+        assert _counter_total("par_checkpoint_rejected_total",
+                              reason="spec_mismatch") == before + 1
+
+    def test_serial_interrupt_resumes_per_cycle(self, serial_run,
+                                                tmp_path):
+        plan = FaultPlan({3: ShardFault(kind=RAISE, attempts=(0,))})
+        with pytest.raises(FaultInjected):
+            run_study(SPEC, workers=1, checkpoint_dir=tmp_path,
+                      fault_plan=plan)
+        before_hits = _counter_total("par_checkpoint_hits_total")
+        resumed = run_study(SPEC, workers=1, checkpoint_dir=tmp_path)
+        # Cycles 1 and 2 replay from disk; 3 and 4 run fresh.
+        assert _counter_total("par_checkpoint_hits_total") == \
+            before_hits + 2
+        _assert_identical(serial_run, resumed)
+
+
+class TestTruncatedArchive:
+    def test_truncated_archive_salvages_intact_records(self, tmp_path):
+        snapshot = _sample_traces()
+        assert len(snapshot) >= 2
+        path = tmp_path / "snapshot.rwts"
+        write_archive(path, snapshot)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:len(payload) - 7])  # cut mid-record
+
+        with pytest.raises(WartsError):
+            with open(path, "rb") as stream:
+                list(WartsReader(stream))
+        with open(path, "rb") as stream:
+            reader = WartsReader(stream, tolerant=True)
+            salvaged = list(reader)
+        assert len(salvaged) == len(snapshot) - 1
+        assert reader.skipped == {"truncated_body": 1}
+
+
+def _sample_traces():
+    from repro.par import build_study
+
+    simulator, _ = build_study(SPEC)
+    return simulator.run_cycle(1).snapshots[0][:5]

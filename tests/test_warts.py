@@ -1,20 +1,26 @@
 """Unit tests for the warts-like binary and JSONL trace codecs."""
 
 import io
+import struct
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.mpls.lse import LabelStackEntry
 from repro.net.ip import ip_to_int
+from repro.obs import get_registry
 from repro.traces import StopReason, Trace, TraceHop
 from repro.warts.format import (
+    MAGIC,
+    MAX_RECORD_LENGTH,
+    VERSION,
     WartsError,
     WartsReader,
     WartsWriter,
     decode_trace,
     encode_trace,
     read_archive,
+    salvage_archive,
     write_archive,
 )
 from repro.warts.jsonl import (
@@ -142,6 +148,108 @@ class TestBinaryCodec:
         with pytest.raises(WartsError, match="monitor"):
             encode_trace(trace)
 
+    def test_record_length_cap_rejected_before_allocation(self):
+        # A corrupt length near 2^32 must raise, not attempt a
+        # multi-GB read; nothing beyond the prefix is consumed.
+        header = MAGIC + struct.pack("!H", VERSION)
+        data = header + struct.pack("!I", 0xFFFFFFF0)
+        with pytest.raises(WartsError, match="cap"):
+            list(WartsReader(io.BytesIO(data)))
+
+    def test_record_length_cap_boundary(self):
+        header = MAGIC + struct.pack("!H", VERSION)
+        data = header + struct.pack("!I", MAX_RECORD_LENGTH + 1)
+        with pytest.raises(WartsError, match="cap"):
+            list(WartsReader(io.BytesIO(data)))
+
+
+def archive_bytes(traces):
+    buffer = io.BytesIO()
+    WartsWriter(buffer).write_all(traces)
+    return buffer.getvalue()
+
+
+class TestTolerantReader:
+    def test_strict_by_default(self):
+        data = archive_bytes([sample_trace()])[:-3]
+        with pytest.raises(WartsError):
+            list(WartsReader(io.BytesIO(data)))
+
+    def test_truncated_body_salvaged(self):
+        originals = [sample_trace(f"mon-{i}") for i in range(3)]
+        data = archive_bytes(originals)[:-3]
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        loaded = list(reader)
+        assert len(loaded) == 2
+        assert all(traces_equal(a, b)
+                   for a, b in zip(originals, loaded))
+        assert reader.skipped == {"truncated_body": 1}
+
+    def test_truncated_length_salvaged(self):
+        data = archive_bytes([sample_trace()]) + b"\x00\x01"
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        assert len(list(reader)) == 1
+        assert reader.skipped == {"truncated_length": 1}
+
+    def test_decode_error_skips_only_that_record(self):
+        good = encode_trace(sample_trace())
+        bad = b"\xff" * 24  # framed fine, parses to garbage
+        data = (MAGIC + struct.pack("!H", VERSION)
+                + struct.pack("!I", len(bad)) + bad
+                + struct.pack("!I", len(good)) + good)
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        loaded = list(reader)
+        assert len(loaded) == 1
+        assert traces_equal(loaded[0], sample_trace())
+        assert reader.skipped == {"decode_error": 1}
+
+    def test_oversized_length_resyncs_on_embedded_header(self):
+        # Corrupt framing followed by a concatenated archive: the
+        # reader abandons the bad region, finds the embedded magic,
+        # and keeps going.
+        first = archive_bytes([sample_trace("mon-a")])
+        second = archive_bytes([sample_trace("mon-b"),
+                                sample_trace("mon-c")])
+        data = (first
+                + struct.pack("!I", 0xF0000000) + b"\xde\xad" * 11
+                + second)
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        loaded = list(reader)
+        assert [t.monitor for t in loaded] == ["mon-a", "mon-b", "mon-c"]
+        assert reader.skipped.get("oversized_length") == 1
+
+    def test_concatenated_archives_read_seamlessly(self):
+        data = (archive_bytes([sample_trace("mon-a")])
+                + archive_bytes([sample_trace("mon-b")]))
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        assert [t.monitor for t in reader] == ["mon-a", "mon-b"]
+
+    def test_garbage_tail_without_anchor_stops_cleanly(self):
+        data = (archive_bytes([sample_trace()])
+                + struct.pack("!I", 0xF0000000) + b"\x99" * 100)
+        reader = WartsReader(io.BytesIO(data), tolerant=True)
+        assert len(list(reader)) == 1
+        assert reader.skipped == {"oversized_length": 1}
+
+    def test_salvage_archive_reports_tally(self, tmp_path):
+        path = tmp_path / "broken.rwts"
+        originals = [sample_trace(f"mon-{i}") for i in range(4)]
+        payload = archive_bytes(originals)
+        path.write_bytes(payload[:-5])
+        traces, skipped = salvage_archive(path)
+        assert len(traces) == 3
+        assert skipped == {"truncated_body": 1}
+        with pytest.raises(WartsError):
+            read_archive(path)
+        assert len(read_archive(path, tolerant=True)) == 3
+
+    def test_skip_counter_increments(self):
+        counter = get_registry().counter("warts_records_skipped_total")
+        before = counter.value(reason="truncated_body")
+        data = archive_bytes([sample_trace()])[:-3]
+        list(WartsReader(io.BytesIO(data), tolerant=True))
+        assert counter.value(reason="truncated_body") == before + 1
+
 
 class TestJsonlCodec:
     def test_dict_round_trip(self):
@@ -174,6 +282,28 @@ class TestJsonlCodec:
         data = trace_to_dict(sample_trace())
         assert data["src"] == "192.0.2.1"
         assert data["hops"][0]["address"].startswith("10.0.0.")
+
+    def test_minimal_hand_written_record_round_trips(self):
+        # Hand-written JSONL omits optional keys: no mpls list, no
+        # quoted_ttl.  Both must default instead of raising KeyError.
+        minimal = {
+            "monitor": "mon-hand",
+            "src": "192.0.2.1",
+            "dst": "198.51.100.7",
+            "timestamp": 12.5,
+            "stop_reason": StopReason.COMPLETED.value,
+            "hops": [
+                {"probe_ttl": 1, "address": "10.0.0.1", "rtt_ms": 0.7},
+                {"probe_ttl": 2, "address": None, "rtt_ms": 0.0},
+            ],
+        }
+        trace = trace_from_dict(minimal)
+        assert trace.hops[0].quoted_stack == ()
+        assert trace.hops[0].quoted_ttl == 1
+        assert trace.hops[1].is_anonymous
+        # Full round trip: dict -> trace -> dict -> trace.
+        again = trace_from_dict(trace_to_dict(trace))
+        assert traces_equal(trace, again)
 
 
 @given(st.lists(st.tuples(
