@@ -1,11 +1,21 @@
 """Throughput benchmarks for the LPR pipeline itself.
 
 Not a paper figure: these measure the cost of the reusable pieces —
-extraction, the filter chain and Algorithm-1 classification — on one
-cycle of the standard dataset, so performance regressions in the
-algorithmic core are caught.  The parallel-study benchmark additionally
-times an 8-cycle campaign serial vs sharded (``repro.par``) and records
-the speedup in the benchmark JSON (see ``BENCH_baseline.json``).
+extraction, the filter chain, Algorithm-1 classification, probing
+(``trace_all``) and a whole end-to-end cycle — on the standard dataset,
+so performance regressions in the algorithmic core are caught (CI
+compares the means against ``BENCH_baseline.json`` and fails on >25%
+regressions).
+
+Two benchmarks additionally record *speedups* in ``extra_info``:
+
+* ``test_bench_trace_all`` / ``test_bench_full_pipeline`` time the
+  memoized forwarding plane against a ``memoize=False`` reference on
+  identical state — the single-process win of the route/hop/quoted-stack
+  caches (DESIGN §8), asserted >= 1.5x;
+* ``test_bench_parallel_study_speedup`` / ``test_bench_intra_cycle_speedup``
+  time sharded campaigns against the serial loop — multi-core wins that
+  are only asserted on machines with enough cores.
 """
 
 import os
@@ -17,15 +27,57 @@ from repro.core.classification import classify
 from repro.core.extraction import extract_all
 from repro.core.filters import run_filters
 from repro.core.pipeline import LprPipeline, run_study
+from repro.igp.ecmp import flow_hash
 from repro.par import StudySpec
+from repro.sim import ArkSimulator, paper_scenario
+from repro.sim.dataplane import DataPlane
+from repro.sim.traceroute import TracerouteEngine
 
 from conftest import run_once
+
+_BENCH_CYCLE = 40
+_DAY = 86_400.0
+_MONTH = 30 * _DAY
 
 
 @pytest.fixture(scope="module")
 def cycle_data(study):
     """A fresh mid-study cycle dataset (traces only)."""
-    return study.simulator.run_cycle(40)
+    return study.simulator.run_cycle(_BENCH_CYCLE)
+
+
+def _forwarded_simulator(memoize: bool = True) -> ArkSimulator:
+    """A standard-campaign simulator on the eve of the bench cycle."""
+    simulator = ArkSimulator(paper_scenario(scale=1.0, seed=2015),
+                             memoize=memoize)
+    simulator.fast_forward(1, _BENCH_CYCLE - 1)
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def frozen_snapshot():
+    """The bench cycle's first snapshot, frozen: state + pair list."""
+    simulator = _forwarded_simulator()
+    plan = simulator.scenario.plan(_BENCH_CYCLE)
+    simulator.internet.apply_policies(plan.policies)
+    simulator.internet.tick()
+    pairs = simulator.assignments(_BENCH_CYCLE, plan.monitor_fraction,
+                                  plan.dest_fraction, 0)
+    return simulator, pairs
+
+
+def _snapshot_engine(simulator: ArkSimulator,
+                     memoize: bool) -> TracerouteEngine:
+    """The engine ``run_cycle`` would build for the frozen snapshot."""
+    return TracerouteEngine(
+        DataPlane(simulator.internet,
+                  era=flow_hash(_BENCH_CYCLE, 0),
+                  flap_rate=simulator.flap_rate,
+                  egress_noise=simulator.egress_noise,
+                  memoize=memoize),
+        seed=flow_hash(simulator._seed, _BENCH_CYCLE, 0),
+        loss_rate=simulator.loss_rate,
+    )
 
 
 def test_bench_extraction(benchmark, study, cycle_data):
@@ -55,10 +107,76 @@ def test_bench_classification(benchmark, study, cycle_data):
     assert len(result) == len(iotps)
 
 
-def test_bench_full_pipeline(benchmark, study, cycle_data):
-    pipeline = LprPipeline(study.simulator.internet.ip2as)
-    result = benchmark(pipeline.process_cycle, cycle_data)
+def test_bench_trace_all(benchmark, frozen_snapshot):
+    """One snapshot's probing, memoized vs the uncached reference.
+
+    Each round rebuilds the engine (cold per-era caches, exactly as
+    ``run_cycle`` does), so this measures the realistic cold-cache
+    snapshot cost.  The ``memoize=False`` reference runs on the same
+    frozen state; its time and the resulting single-process speedup
+    land in ``extra_info``, and the traces are asserted identical —
+    the caches are exact.
+    """
+    simulator, pairs = frozen_snapshot
+    timestamp = (_BENCH_CYCLE - 1) * _MONTH
+
+    def probe():
+        return _snapshot_engine(simulator, True).trace_all(pairs,
+                                                           timestamp)
+
+    traces = benchmark.pedantic(probe, rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    reference = _snapshot_engine(simulator, False).trace_all(pairs,
+                                                             timestamp)
+    unmemoized_s = time.perf_counter() - start
+
+    memoized_s = benchmark.stats.stats.mean
+    speedup = unmemoized_s / memoized_s if memoized_s else 0.0
+    benchmark.extra_info["unmemoized_s"] = round(unmemoized_s, 3)
+    benchmark.extra_info["memoization_speedup"] = round(speedup, 2)
+
+    assert traces == reference
+    assert speedup >= 1.5, (
+        f"expected >= 1.5x from memoization, got {speedup:.2f}x "
+        f"(memoized {memoized_s:.3f}s, uncached {unmemoized_s:.3f}s)")
+
+
+def test_bench_full_pipeline(benchmark):
+    """One end-to-end cycle — probing plus LPR — memoized vs uncached.
+
+    ``run_cycle`` mutates simulator state, so each variant gets its own
+    identically fast-forwarded simulator and runs the cycle exactly
+    once.  The unmemoized reference time and speedup land in
+    ``extra_info``; results are asserted identical.
+    """
+    simulator = _forwarded_simulator()
+    pipeline = LprPipeline(simulator.internet.ip2as)
+    result = run_once(
+        benchmark,
+        lambda: pipeline.process_cycle(
+            simulator.run_cycle(_BENCH_CYCLE)))
+
+    reference = _forwarded_simulator(memoize=False)
+    ref_pipeline = LprPipeline(reference.internet.ip2as)
+    start = time.perf_counter()
+    ref_result = ref_pipeline.process_cycle(
+        reference.run_cycle(_BENCH_CYCLE))
+    unmemoized_s = time.perf_counter() - start
+
+    memoized_s = benchmark.stats.stats.mean
+    speedup = unmemoized_s / memoized_s if memoized_s else 0.0
+    benchmark.extra_info["unmemoized_s"] = round(unmemoized_s, 3)
+    benchmark.extra_info["memoization_speedup"] = round(speedup, 2)
+
     assert len(result.classification) > 0
+    assert result.stats == ref_result.stats
+    assert result.filter_stats == ref_result.filter_stats
+    assert result.classification.verdicts == \
+        ref_result.classification.verdicts
+    assert speedup >= 1.5, (
+        f"expected >= 1.5x from memoization, got {speedup:.2f}x "
+        f"(memoized {memoized_s:.3f}s, uncached {unmemoized_s:.3f}s)")
 
 
 def test_bench_parallel_study_speedup(benchmark):
@@ -96,4 +214,43 @@ def test_bench_parallel_study_speedup(benchmark):
         assert speedup >= 2.0, (
             f"expected >= 2x speedup on {cores} cores, got "
             f"{speedup:.2f}x (serial {serial_s:.2f}s, "
+            f"parallel {parallel_s:.2f}s)")
+
+
+def test_bench_intra_cycle_speedup(benchmark):
+    """A 1-cycle campaign split into 4 pair blocks vs the serial loop.
+
+    With fewer workers than cycles sharding used to idle; intra-cycle
+    pair blocks (DESIGN §8) let even a single cycle fill every core.
+    As above, the serial time and speedup land in ``extra_info`` and
+    the >= 2x assertion applies only on machines with >= 4 cores.
+    """
+    spec = StudySpec(scale=1.0, seed=2015, cycles=1)
+    cores = os.cpu_count() or 1
+
+    serial_start = time.perf_counter()
+    serial = run_study(spec, workers=1)
+    serial_s = time.perf_counter() - serial_start
+
+    parallel = run_once(benchmark, run_study, spec, workers=4)
+
+    parallel_s = benchmark.stats.stats.mean
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["cpu_count"] = cores
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    assert [s.block for s in parallel.shards] == \
+        [(1, index, 4) for index in range(4)]
+    serial_result, = serial.results
+    parallel_result, = parallel.results
+    assert serial_result.stats == parallel_result.stats
+    assert serial_result.classification.verdicts == \
+        parallel_result.classification.verdicts
+    assert serial_result.metrics == parallel_result.metrics
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x intra-cycle speedup on {cores} cores, "
+            f"got {speedup:.2f}x (serial {serial_s:.2f}s, "
             f"parallel {parallel_s:.2f}s)")

@@ -112,8 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["table1", "fig7"],
                        choices=list(ALL_ARTIFACTS))
     study.add_argument("--workers", type=int, default=1, metavar="N",
-                       help="shard the cycles over N worker processes "
-                            "(byte-identical output; default serial)")
+                       help="shard the study over N worker processes; "
+                            "workers beyond the cycle count split "
+                            "cycles into pair blocks (byte-identical "
+                            "output either way; default serial)")
     study.add_argument("--profile", action="store_true",
                        help="time every pipeline stage and print a "
                             "per-stage breakdown table")

@@ -114,13 +114,39 @@ def _build_lsp(trace: Trace, run_start: int, run_end: int,
     )
 
 
+def _canonicalize(lsp: Lsp, table: dict) -> Lsp:
+    """One Lsp with each field replaced by its first-seen equal object.
+
+    Traces arriving from worker processes are value-identical to
+    serially produced ones but lose cross-trace object sharing at
+    pickle boundaries; interning the extracted values makes every
+    downstream object graph — and hence checkpoint pickles — a pure
+    function of the trace *values*, whatever worker layout produced
+    them (DESIGN §8).
+    """
+    def intern(value):
+        return table.setdefault(value, value)
+
+    return Lsp(
+        entry=intern(lsp.entry),
+        exit=intern(lsp.exit),
+        hops=intern(tuple(intern((intern(address), intern(label)))
+                          for address, label in lsp.hops)),
+        complete=lsp.complete,
+        monitor=intern(lsp.monitor),
+        dst=intern(lsp.dst),
+    )
+
+
 def extract_all(traces: Iterable[Trace]) -> List[Lsp]:
     """Extract every explicit tunnel from a collection of traces."""
     lsps: List[Lsp] = []
+    table: dict = {}
     with span("extraction.extract_all"):
         count = 0
         for trace in traces:
-            lsps.extend(extract_lsps(trace))
+            lsps.extend(_canonicalize(lsp, table)
+                        for lsp in extract_lsps(trace))
             count += 1
     complete = sum(1 for lsp in lsps if lsp.complete)
     _TRACES_SCANNED.inc(count)

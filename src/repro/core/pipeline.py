@@ -186,7 +186,11 @@ def run_study(spec, workers: int = 1, **options):
     the cycle range over a process pool — each worker reconstructs its
     block's network state deterministically and the per-shard metrics
     deltas merge back into this process's registry — with byte-identical
-    output either way (asserted in ``tests/test_par.py``).
+    output either way (asserted in ``tests/test_par.py``).  Workers
+    beyond the cycle count keep sharding *inside* cycles: surplus
+    workers trace contiguous (monitor, destination) pair blocks that
+    are reassembled in pair order (DESIGN §8), so even a 1-cycle study
+    scales out.
 
     Keyword ``options`` pass straight to
     :func:`repro.par.runner.run_study` — fault tolerance knobs such as

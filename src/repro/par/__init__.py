@@ -6,7 +6,9 @@ long as every worker sees the exact network state a serial run would
 have at its cycles.  This package provides that:
 
 * :func:`shard_cycles` splits a cycle range into contiguous blocks, one
-  per worker — contiguity minimises replay work;
+  per worker — contiguity minimises replay work; :func:`plan_shards`
+  extends the split *inside* cycles when workers outnumber them
+  (intra-cycle pair blocks, reassembled in pair order by the runner);
 * each worker deterministically reconstructs its block's starting state
   with :meth:`~repro.sim.ark.ArkSimulator.fast_forward` (control-plane
   replay: policies applied and timers ticked, no probes), then runs its
@@ -27,8 +29,13 @@ test-only hooks that stage worker deaths so the recovery paths stay
 covered (``tests/test_par_faults.py``).
 """
 
-from .shard import Shard, shard_cycles
-from .checkpoint import CHECKPOINT_VERSION, CheckpointStore, spec_hash
+from .shard import Shard, plan_shards, shard_cycles
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    spec_hash,
+    strip_layout_dependent,
+)
 from .faults import KILL, RAISE, FaultInjected, FaultPlan, ShardFault
 from .runner import (
     ShardResult,
@@ -41,7 +48,9 @@ from .runner import (
 
 __all__ = [
     "Shard",
+    "plan_shards",
     "shard_cycles",
+    "strip_layout_dependent",
     "CHECKPOINT_VERSION",
     "CheckpointStore",
     "spec_hash",

@@ -8,14 +8,26 @@ the finished shards back and dispatches only the missing cycle ranges.
 Because every shard is a pure function of ``(StudySpec, cycle range)``
 (DESIGN §6/§8), a resumed run is byte-identical to an uninterrupted one.
 
-Layout: ``<checkpoint-dir>/<spec-hash>/shard-<first>-<last>.ckpt``.
-The directory is **content-addressed by the spec hash**, and the hash
-is verified again inside each file, so a stale checkpoint from a
-different spec (other seed, scale, filter knobs, or format version) is
-*rejected* — counted in ``par_checkpoint_rejected_total{reason}`` —
-never silently reused.  Writes go through a temp file + ``os.replace``
-so a crash mid-write leaves no half-checkpoint behind; unreadable files
-degrade to a re-run of that shard, not an abort.
+Layout: ``<checkpoint-dir>/<spec-hash>/shard-<first>-<last>.ckpt`` for
+cycle-range shards; intra-cycle pair blocks (DESIGN §8) add a block
+component — ``shard-<first>-<last>-b<index>-<count>.ckpt`` — so the
+checkpoint key is ``(spec, cycle range, pair range)``.  The directory
+is **content-addressed by the spec hash**, and the hash is verified
+again inside each file, so a stale checkpoint from a different spec
+(other seed, scale, filter knobs, or format version) is *rejected* —
+counted in ``par_checkpoint_rejected_total{reason}`` — never silently
+reused.  Writes go through a temp file + ``os.replace`` so a crash
+mid-write leaves no half-checkpoint behind; unreadable files degrade
+to a re-run of that shard, not an abort.
+
+Persisted metrics deltas are **stripped of layout-dependent cache
+counters** (``route_cache_*``, ``hop_cache_*``,
+``quoted_stack_cache_*``): serial and sharded runs split the same probe
+stream over differently warmed per-era caches, so those hit/miss splits
+are per-process observability, not campaign results.  Stripping keeps a
+cycle's checkpoint byte-identical whatever worker layout produced it —
+which is also what lets a serial run's per-cycle checkpoints seed a
+parallel resume and vice versa.
 """
 
 from __future__ import annotations
@@ -25,15 +37,32 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..obs import get_logger, get_registry
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 """Bumped whenever the on-disk payload shape changes; old files are
-then rejected (reason ``version``) instead of mis-read."""
+then rejected (reason ``version``) instead of mis-read.  Version 2:
+pair-block results (raw snapshots + block key) and layout-dependent
+counter stripping."""
+
+LAYOUT_DEPENDENT_PREFIXES = (
+    "route_cache_", "hop_cache_", "quoted_stack_cache_")
+"""Metric-name prefixes whose values depend on how the probe stream was
+split over caches — stripped from persisted deltas."""
+
+
+def strip_layout_dependent(delta: dict) -> dict:
+    """A metrics delta without the per-process cache counters.
+
+    Preserves the (sorted) key order of the input, so equal stripped
+    deltas pickle to equal bytes.
+    """
+    return {name: payload for name, payload in delta.items()
+            if not name.startswith(LAYOUT_DEPENDENT_PREFIXES)}
 
 _log = get_logger(__name__)
 _HITS = get_registry().counter(
@@ -70,17 +99,24 @@ class CheckpointStore:
         self.spec_hash = spec_hash(spec)
         self.directory = Path(root) / self.spec_hash
 
-    def path_for(self, first: int, last: int) -> Path:
+    def path_for(self, first: int, last: int,
+                 block: Optional[Tuple[int, int]] = None) -> Path:
+        if block is not None:
+            index, count = block
+            return self.directory / (
+                f"shard-{first:04d}-{last:04d}"
+                f"-b{index:04d}-{count:04d}.ckpt")
         return self.directory / f"shard-{first:04d}-{last:04d}.ckpt"
 
-    def load(self, first: int, last: int):
-        """The stored ShardResult for one cycle range, or None.
+    def load(self, first: int, last: int,
+             block: Optional[Tuple[int, int]] = None):
+        """The stored ShardResult for one cycle/pair range, or None.
 
         Anything short of a verified payload — missing file, truncated
         or corrupt pickle, foreign spec hash, other format version —
         returns None so the runner re-runs the shard.
         """
-        path = self.path_for(first, last)
+        path = self.path_for(first, last, block)
         try:
             with open(path, "rb") as stream:
                 payload = pickle.load(stream)
@@ -102,7 +138,8 @@ class CheckpointStore:
         if payload.get("spec_hash") != self.spec_hash:
             return self._reject(path, "spec_mismatch")
         result = payload.get("result")
-        if not isinstance(result, ShardResult) or not result.results:
+        if not isinstance(result, ShardResult) or \
+                not (result.results or result.snapshots):
             return self._reject(path, "corrupt")
         _HITS.inc()
         _log.info("checkpoint.hit", path=str(path),
@@ -117,15 +154,25 @@ class CheckpointStore:
         return None
 
     def save(self, result) -> Path:
-        """Atomically persist one shard result; returns its path."""
+        """Atomically persist one shard result; returns its path.
+
+        Pair-block results are keyed by their (cycle, pair-range);
+        every stored delta has the layout-dependent cache counters
+        stripped (module docstring).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
-        first = result.results[0].cycle
-        last = result.results[-1].cycle
-        path = self.path_for(first, last)
+        if result.block is not None:
+            cycle, index, count = result.block
+            path = self.path_for(cycle, cycle, (index, count))
+        else:
+            first = result.results[0].cycle
+            last = result.results[-1].cycle
+            path = self.path_for(first, last)
         payload = {
             "version": CHECKPOINT_VERSION,
             "spec_hash": self.spec_hash,
-            "result": result,
+            "result": replace(result, metrics_delta=strip_layout_dependent(
+                result.metrics_delta)),
         }
         handle, tmp = tempfile.mkstemp(dir=self.directory,
                                        prefix=path.name, suffix=".tmp")

@@ -17,18 +17,30 @@ simulator through the whole campaign so that post-study experiments
 (Figs 6, 16, 17 re-run cycles on top of the end state) see the identical
 state a serial run leaves behind.
 
+When ``workers`` exceeds the cycle count — including the degenerate but
+common 1-cycle study — :func:`~repro.par.shard.plan_shards` keeps
+sharding *inside* cycles: surplus workers each trace one contiguous
+**pair block** of a cycle's (monitor, destination) list over the same
+fast-forwarded state, the parent reassembles the blocks' traces in pair
+order into one :class:`~repro.sim.ark.CycleData` and runs the pipeline
+on it exactly as a serial cycle would, so results, metrics deltas and
+checkpoints stay byte-identical (DESIGN §8).
+
 The runner is **fault tolerant** (DESIGN §8):
 
 * a dead worker (``BrokenProcessPool``) or a per-shard exception marks
   the shard failed, not the study; failed shards are re-dispatched with
   exponential backoff up to ``max_retries`` times, optionally
-  subdivided into halves to route around a poisonous cycle block;
-* with ``checkpoint_dir`` set, every completed shard is persisted and
-  a restarted study replays only the missing cycle ranges
+  subdivided — cycle ranges into halves, pair blocks into half-blocks —
+  to route around a poisonous unit of work;
+* with ``checkpoint_dir`` set, every completed shard (cycle ranges,
+  assembled cycles and raw pair blocks alike) is persisted and a
+  restarted study replays only the missing work
   (:mod:`repro.par.checkpoint`);
 * both paths keep the headline guarantee: because each shard is a pure
-  function of ``(spec, cycle range)``, a retried, subdivided or resumed
-  run stays byte-identical to an uninterrupted serial one.
+  function of ``(spec, cycle range, pair range)``, a retried,
+  subdivided or resumed run stays byte-identical to an uninterrupted
+  serial one.
 """
 
 from __future__ import annotations
@@ -37,15 +49,17 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.pipeline import CycleResult, LprPipeline
 from ..obs import get_logger, get_registry, span
 from ..sim import ArkSimulator
+from ..sim.ark import CycleData
 from ..sim.scenarios import CYCLES, paper_scenario
 from .checkpoint import CheckpointStore
 from .faults import FaultPlan, ShardFault
-from .shard import Shard, shard_cycles
+from .shard import Shard, plan_shards, shard_cycles
 
 _log = get_logger(__name__)
 _SHARDS_RUN = get_registry().counter(
@@ -53,6 +67,9 @@ _SHARDS_RUN = get_registry().counter(
 _SHARD_CYCLES = get_registry().counter(
     "par_shard_cycles_total",
     "Cycles processed per shard of a parallel study run")
+_PAIR_BLOCKS = get_registry().counter(
+    "par_pair_blocks_total",
+    "Intra-cycle pair blocks traced by parallel study runs")
 _CYCLES_REPLAYED = get_registry().counter(
     "par_cycles_replayed_total",
     "Cycles fast-forwarded (control-plane replay, no probes)")
@@ -102,12 +119,21 @@ def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
 
 @dataclass
 class ShardResult:
-    """What one worker sends back: results plus its metrics delta."""
+    """What one worker sends back: results plus its metrics delta.
+
+    A cycle-range shard carries processed ``results``; an intra-cycle
+    pair block instead carries the raw per-snapshot ``snapshots`` it
+    traced, tagged with its ``block = (cycle, index, count)`` — the
+    parent reassembles a full cycle from the blocks and runs the
+    pipeline itself.
+    """
 
     shard_id: int
     results: List[CycleResult]
     metrics_delta: Dict[str, Any]
     replayed_cycles: int
+    block: Optional[Tuple[int, int, int]] = None
+    snapshots: Optional[List[list]] = None
 
 
 @dataclass
@@ -118,18 +144,31 @@ class StudyRun:
     pipeline: LprPipeline
     results: List[CycleResult]
     shards: List[ShardResult] = field(default_factory=list)
-    """Per-shard accounting of a parallel run (empty when serial)."""
+    """Per-shard accounting of a parallel run (empty when serial):
+    cycle-range results and raw pair blocks, in (cycle, pair) order."""
 
 
 def _run_shard(
     args: Tuple[StudySpec, Shard, int, Optional[ShardFault]]
 ) -> ShardResult:
-    """Worker entry: reconstruct state, run the shard's cycles locally."""
+    """Worker entry: reconstruct state, run the shard's work locally."""
     spec, shard, attempt, fault = args
     simulator, pipeline = build_study(spec)
     registry = get_registry()
     before = registry.snapshot()
     simulator.fast_forward(1, shard.first - 1)
+    if shard.block is not None:
+        if fault is not None:
+            fault.maybe_fire(attempt, 0)
+        data = simulator.run_cycle(shard.first, pair_block=shard.block)
+        return ShardResult(
+            shard_id=shard.shard_id,
+            results=[],
+            metrics_delta=registry.diff(before, registry.snapshot()),
+            replayed_cycles=shard.first - 1,
+            block=(shard.first,) + shard.block,
+            snapshots=data.snapshots,
+        )
     results: List[CycleResult] = []
     for index, cycle in enumerate(shard.cycles):
         if fault is not None:
@@ -164,20 +203,26 @@ def run_study(spec: StudySpec, workers: int = 1, *,
 
     Results come back ordered by cycle whatever the pool's scheduling,
     and each shard's metrics delta is absorbed into this process's
-    registry, so counters reconcile exactly with a serial run.
+    registry, so counters reconcile exactly with a serial run.  With
+    more workers than cycles the surplus splits cycles into pair blocks
+    (:func:`~repro.par.shard.plan_shards`), so even a 1-cycle study
+    scales out — still byte-identical.
 
     Failure handling: a shard whose worker dies or raises is
     re-dispatched up to ``max_retries`` times, sleeping
     ``backoff_base * 2^round`` seconds between rounds (``sleep`` is
-    injectable for tests); multi-cycle shards are additionally split
-    into halves on retry when ``subdivide`` is set, so a single bad
-    allocation or kill costs only part of the work.  When every retry
-    is exhausted the study aborts with :class:`StudyFailure`.
+    injectable for tests); on retry, when ``subdivide`` is set,
+    multi-cycle shards split into halves and pair blocks into
+    half-blocks, so a single bad allocation or kill costs only part of
+    the work.  When every retry is exhausted the study aborts with
+    :class:`StudyFailure`.
 
     With ``checkpoint_dir`` set, finished shards (or, serially, single
     cycles) are persisted through a :class:`CheckpointStore` and a
-    restarted run replays only the missing cycle ranges — byte-identical
-    output either way.  ``fault_plan`` is the test-only injection hook
+    restarted run replays only the missing work — byte-identical output
+    either way.  Reassembled cycles are checkpointed under the same key
+    a serial run uses, so serial checkpoints seed parallel resumes and
+    vice versa.  ``fault_plan`` is the test-only injection hook
     (:mod:`repro.par.faults`); production runs leave it None.
     """
     if max_retries < 0:
@@ -187,19 +232,43 @@ def run_study(spec: StudySpec, workers: int = 1, *,
     if workers <= 1:
         return _run_serial(spec, store, fault_plan)
 
-    shards = shard_cycles(1, spec.cycles, workers)
+    shards = plan_shards(1, spec.cycles, workers)
     _log.info("par.study.start", cycles=spec.cycles, workers=workers,
               shards=len(shards))
     with span("par.study", cycles=spec.cycles, shards=len(shards)):
+        # completed: full cycle-range ShardResults (executed or restored
+        # at cycle granularity); blocks: raw pair blocks per cycle.
         completed: List[ShardResult] = []
+        blocks: Dict[int, List[ShardResult]] = {}
         pending: List[Shard] = []
         attempts: Dict[Shard, int] = {}
         next_id = len(shards)
+        cycle_restored: set = set()
         for shard in shards:
-            cached = (store.load(shard.first, shard.last)
+            if shard.block is None:
+                cached = (store.load(shard.first, shard.last)
+                          if store is not None else None)
+                if cached is not None:
+                    completed.append(cached)
+                else:
+                    pending.append(shard)
+                    attempts[shard] = 0
+                continue
+            # Intra-cycle shard: prefer a whole-cycle checkpoint (same
+            # key a serial run writes), then this block's own file.
+            cycle = shard.first
+            if cycle in cycle_restored:
+                continue
+            if store is not None and shard.block[0] == 0:
+                cached = store.load(cycle, cycle)
+                if cached is not None:
+                    completed.append(cached)
+                    cycle_restored.add(cycle)
+                    continue
+            cached = (store.load(cycle, cycle, shard.block)
                       if store is not None else None)
             if cached is not None:
-                completed.append(cached)
+                blocks.setdefault(cycle, []).append(cached)
             else:
                 pending.append(shard)
                 attempts[shard] = 0
@@ -214,12 +283,19 @@ def run_study(spec: StudySpec, workers: int = 1, *,
                                          attempts, fault_plan)
             for result in executed:
                 _SHARDS_RUN.inc()
-                _SHARD_CYCLES.inc(len(result.results),
-                                  shard=result.shard_id)
+                if result.block is not None:
+                    _PAIR_BLOCKS.inc(shard=result.shard_id)
+                else:
+                    _SHARD_CYCLES.inc(len(result.results),
+                                      shard=result.shard_id)
                 _CYCLES_REPLAYED.inc(result.replayed_cycles)
                 if store is not None:
                     store.save(result)
-                completed.append(result)
+                if result.block is not None:
+                    blocks.setdefault(result.block[0],
+                                      []).append(result)
+                else:
+                    completed.append(result)
             retry: List[Shard] = []
             for shard, error in failed:
                 attempt = attempts.pop(shard)
@@ -233,7 +309,18 @@ def run_study(spec: StudySpec, workers: int = 1, *,
                 _log.warning("par.shard.retry", shard=shard.shard_id,
                              first=shard.first, last=shard.last,
                              attempt=attempt + 1, error=str(error))
-                if subdivide and len(shard) > 1:
+                if subdivide and shard.block is not None:
+                    index, count = shard.block
+                    for child_block in ((2 * index, 2 * count),
+                                        (2 * index + 1, 2 * count)):
+                        child = Shard(shard_id=next_id,
+                                      first=shard.first,
+                                      last=shard.last,
+                                      block=child_block)
+                        next_id += 1
+                        attempts[child] = attempt + 1
+                        retry.append(child)
+                elif subdivide and len(shard) > 1:
                     for half in shard_cycles(shard.first, shard.last, 2):
                         child = Shard(shard_id=next_id,
                                       first=half.first, last=half.last)
@@ -246,24 +333,90 @@ def run_study(spec: StudySpec, workers: int = 1, *,
             pending = retry
             round_index += 1
 
+        # Assemble in cycle order: absorb cycle-range deltas as-is;
+        # reassemble pair-block cycles and pipeline them in-process,
+        # exactly where a serial run would.
+        simulator, pipeline = build_study(spec)
         registry = get_registry()
         results: List[CycleResult] = []
-        completed.sort(key=lambda r: r.results[0].cycle)
-        for shard_result in completed:
-            registry.absorb(shard_result.metrics_delta)
-            results.extend(shard_result.results)
+        shards_out: List[ShardResult] = []
+        units = [(r.results[0].cycle, r, None) for r in completed]
+        for cycle, cycle_blocks in blocks.items():
+            units.append((cycle, None, cycle_blocks))
+        units.sort(key=lambda unit: unit[0])
+        for cycle, whole, cycle_blocks in units:
+            if whole is not None:
+                registry.absorb(whole.metrics_delta)
+                results.extend(whole.results)
+                shards_out.append(whole)
+                continue
+            assembled, ordered = _assemble_cycle(
+                spec, cycle, cycle_blocks, pipeline, registry)
+            if store is not None:
+                store.save(assembled)
+            results.extend(assembled.results)
+            shards_out.extend(ordered)
 
         # The parent simulator never probed, but post-study experiments
         # (persistence sweeps, ramp campaigns, label dynamics) run extra
         # cycles on top of the campaign's end state — replay the whole
         # control-plane evolution so that state matches a serial run.
-        simulator, pipeline = build_study(spec)
         with span("par.fast_forward", cycles=spec.cycles):
             simulator.fast_forward(1, spec.cycles)
     _log.info("par.study.done", cycles=len(results),
-              shards=len(completed))
+              shards=len(shards_out))
     return StudyRun(simulator=simulator, pipeline=pipeline,
-                    results=results, shards=completed)
+                    results=results, shards=shards_out)
+
+
+def _assemble_cycle(spec: StudySpec, cycle: int,
+                    cycle_blocks: List[ShardResult],
+                    pipeline: LprPipeline, registry
+                    ) -> Tuple[ShardResult, List[ShardResult]]:
+    """One cycle reassembled from its pair blocks, then pipelined.
+
+    Blocks sort by their fractional start (``index/count`` — retry
+    subdivision can mix granularities) and must tile [0, 1) exactly;
+    each snapshot's traces are concatenated in that order, which is
+    pair order.  The pipeline then runs in-process over the rebuilt
+    :class:`CycleData`, and the cycle's metrics delta — absorbed block
+    deltas plus the pipeline stages — matches a serial cycle's
+    (modulo the layout-dependent cache counters the checkpoint layer
+    strips).  Returns the cycle-level ShardResult (checkpointed under
+    the serial key) plus the ordered blocks for accounting.
+    """
+    ordered = sorted(cycle_blocks,
+                     key=lambda r: Fraction(r.block[1], r.block[2]))
+    position = Fraction(0)
+    for block in ordered:
+        _cycle, index, count = block.block
+        if Fraction(index, count) != position:
+            raise StudyFailure(
+                f"cycle {cycle}: pair blocks do not tile: expected a "
+                f"block starting at {position}, got {index}/{count}")
+        position = Fraction(index + 1, count)
+    if position != 1:
+        raise StudyFailure(
+            f"cycle {cycle}: pair blocks cover only {position} of the "
+            f"pair list")
+    snapshots: List[list] = []
+    for snapshot_index in range(spec.snapshots_per_cycle):
+        merged: list = []
+        for block in ordered:
+            merged.extend(block.snapshots[snapshot_index])
+        snapshots.append(merged)
+    before = registry.snapshot()
+    for block in ordered:
+        registry.absorb(block.metrics_delta)
+    result = pipeline.process_cycle(
+        CycleData(cycle=cycle, snapshots=snapshots))
+    assembled = ShardResult(
+        shard_id=cycle - 1,
+        results=[result],
+        metrics_delta=registry.diff(before, registry.snapshot()),
+        replayed_cycles=0,
+    )
+    return assembled, ordered
 
 
 def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
@@ -302,7 +455,9 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
     Serially each cycle is its own checkpoint unit: a resumed run
     fast-forwards the control plane through checkpointed cycles (no
     probing) and absorbs their stored metrics deltas, so registry
-    totals and results match an uninterrupted run exactly.
+    totals and results match an uninterrupted run exactly (modulo the
+    stripped cache counters, which only ever count probes actually
+    issued by this process).
     """
     simulator, pipeline = build_study(spec)
     registry = get_registry()

@@ -7,21 +7,38 @@ fast-forward), so contiguity keeps total replay work at
 pure function of ``(first, last, shards)`` — no randomness, no
 load-balancer state — which keeps shard assignment reproducible and the
 merged output independent of worker scheduling.
+
+When callers ask for more workers than there are cycles,
+:func:`plan_shards` keeps going *inside* the cycles: the surplus
+workers each take one contiguous **pair block** — a slice of a cycle's
+(monitor, destination) list (``Shard.block``) — so a 1-cycle study
+still fills every core.  Pair-block shards trace over the same
+fast-forwarded state a full-cycle worker would hold, and the runner
+reassembles their traces in pair order, so the output stays
+byte-identical (DESIGN §8).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class Shard:
-    """One worker's contiguous block of cycles (inclusive bounds)."""
+    """One worker's contiguous block of cycles (inclusive bounds).
+
+    ``block`` is None for an ordinary cycle-range shard.  For an
+    intra-cycle shard it is ``(index, count)``: the shard covers pair
+    block ``index`` of ``count`` of the single cycle ``first``
+    (``first == last``), sliced per snapshot by
+    :func:`repro.sim.ark.block_bounds`.
+    """
 
     shard_id: int
     first: int
     last: int
+    block: Optional[Tuple[int, int]] = None
 
     @property
     def cycles(self) -> range:
@@ -53,4 +70,39 @@ def shard_cycles(first: int, last: int, shards: int) -> List[Shard]:
         out.append(Shard(shard_id=shard_id, first=start,
                          last=start + size - 1))
         start += size
+    return out
+
+
+def plan_shards(first: int, last: int, workers: int) -> List[Shard]:
+    """One shard per worker, splitting cycles when workers outnumber them.
+
+    With ``workers <= cycles`` this is exactly :func:`shard_cycles`.
+    With more workers, every cycle becomes its own unit and the surplus
+    workers split cycles into pair blocks: ``divmod`` spreads the
+    workers over the cycles (earlier cycles take the remainder), and a
+    cycle assigned ``k > 1`` workers yields ``k`` intra-cycle shards
+    ``block=(0..k-1, k)``.  Shard ids run in (cycle, block) order.
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    total = last - first + 1
+    if total <= 0:
+        return []
+    if workers <= total:
+        return shard_cycles(first, last, workers)
+    base, extra = divmod(workers, total)
+    out: List[Shard] = []
+    shard_id = 0
+    for offset in range(total):
+        cycle = first + offset
+        count = base + (1 if offset < extra else 0)
+        if count == 1:
+            out.append(Shard(shard_id=shard_id, first=cycle,
+                             last=cycle))
+            shard_id += 1
+            continue
+        for index in range(count):
+            out.append(Shard(shard_id=shard_id, first=cycle,
+                             last=cycle, block=(index, count)))
+            shard_id += 1
     return out

@@ -41,6 +41,23 @@ _SIM_TRACES = get_registry().counter(
     "sim_traces_total", "Traces produced by the simulated campaigns")
 
 
+def block_bounds(total: int, index: int, count: int) -> Tuple[int, int]:
+    """Half-open slice bounds of block ``index`` of ``count`` over a
+    ``total``-item list: ``[total*i//count, total*(i+1)//count)``.
+
+    The blocks are contiguous, cover every item exactly once for any
+    ``total``, and — the property the retry machinery leans on — the
+    children ``(2i, 2count)`` and ``(2i+1, 2count)`` of block
+    ``(i, count)`` tile exactly the parent's range, so a subdivided
+    pair block never duplicates or drops a probe.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one block, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"block index {index} out of [0, {count})")
+    return (total * index) // count, (total * (index + 1)) // count
+
+
 @dataclass
 class CycleData:
     """The traces of one monthly cycle.
@@ -69,8 +86,9 @@ class ArkSimulator:
     def __init__(self, scenario: Scenario, monitors_per_as: int = 2,
                  team_count: int = 3, snapshots_per_cycle: int = 3,
                  loss_rate: float = 0.01, flap_rate: float = 0.012,
-                 egress_noise: float = 0.12):
+                 egress_noise: float = 0.12, memoize: bool = True):
         self.scenario = scenario
+        self.memoize = memoize
         self.internet = Internet(scenario.universe)
         self.monitors = build_monitors(self.internet, monitors_per_as)
         self.team_count = team_count
@@ -155,9 +173,26 @@ class ArkSimulator:
             for _ in range(self.snapshots_per_cycle):
                 self.internet.tick()
 
-    def run_cycle(self, cycle: int) -> CycleData:
-        """Execute one monthly cycle with its follow-up snapshots."""
+    def run_cycle(self, cycle: int,
+                  pair_block: Optional[Tuple[int, int]] = None
+                  ) -> CycleData:
+        """Execute one monthly cycle with its follow-up snapshots.
+
+        ``pair_block=(index, count)`` restricts probing to one
+        contiguous block of each snapshot's (monitor, destination)
+        pair list (:func:`block_bounds`): the control plane still
+        evolves exactly as a full cycle would (policies applied, timers
+        ticked), but only the block's traces are issued.  Concatenating
+        the per-snapshot traces of blocks ``0..count-1`` in order
+        reproduces the full cycle's snapshots byte-for-byte — Paris
+        forwarding is a pure function of (pair, frozen state), so
+        probes neither observe nor disturb each other
+        (:mod:`repro.par` intra-cycle sharding, DESIGN §8).  Only block
+        0 counts the cycle/snapshot in the registry, keeping merged
+        totals layout-invariant.
+        """
         data = CycleData(cycle=cycle)
+        counts = pair_block is None or pair_block[0] == 0
         with span("sim.cycle", cycle=cycle):
             plan = self._apply_cycle(cycle)
             for snapshot in range(self.snapshots_per_cycle):
@@ -168,23 +203,32 @@ class ArkSimulator:
                     pairs = self.assignments(
                         cycle, plan.monitor_fraction,
                         plan.dest_fraction, snapshot)
+                    if pair_block is not None:
+                        low, high = block_bounds(len(pairs),
+                                                 *pair_block)
+                        pairs = pairs[low:high]
                     engine = TracerouteEngine(
                         DataPlane(self.internet,
                                   era=flow_hash(cycle, snapshot),
                                   flap_rate=self.flap_rate,
-                                  egress_noise=self.egress_noise),
+                                  egress_noise=self.egress_noise,
+                                  memoize=self.memoize),
                         seed=flow_hash(self._seed, cycle, snapshot),
                         loss_rate=self.loss_rate,
                     )
                     timestamp = (cycle - 1) * _MONTH + snapshot * _DAY
                     traces = engine.trace_all(pairs, timestamp)
                 data.snapshots.append(traces)
-                _SNAPSHOTS_SIMULATED.inc()
+                if counts:
+                    _SNAPSHOTS_SIMULATED.inc()
                 _SIM_TRACES.inc(len(traces))
-        _CYCLES_SIMULATED.inc()
+        if counts:
+            _CYCLES_SIMULATED.inc()
         _log.info("sim.cycle.done", cycle=cycle,
                   snapshots=len(data.snapshots),
-                  traces=sum(len(s) for s in data.snapshots))
+                  traces=sum(len(s) for s in data.snapshots),
+                  **({"pair_block": pair_block}
+                     if pair_block is not None else {}))
         return data
 
     def run(self, first: int = 1, last: Optional[int] = None
@@ -235,7 +279,8 @@ def daily_campaign(simulator: ArkSimulator, base_cycle: int,
         engine = TracerouteEngine(
             DataPlane(simulator.internet, era=flow_hash(0xDA7, day),
                       flap_rate=simulator.flap_rate,
-                      egress_noise=simulator.egress_noise),
+                      egress_noise=simulator.egress_noise,
+                      memoize=simulator.memoize),
             seed=flow_hash(simulator.scenario.universe.seed, 0xDA7, day),
             loss_rate=simulator.loss_rate,
         )
@@ -273,7 +318,7 @@ def label_dynamics_campaign(simulator: ArkSimulator, cycle: int,
                 network.rsvp.reoptimize_all()
             network.churn_labels(churn_per_tick)
         engine = TracerouteEngine(
-            DataPlane(simulator.internet),
+            DataPlane(simulator.internet, memoize=simulator.memoize),
             seed=flow_hash(simulator.scenario.universe.seed, 0xF17),
             loss_rate=0.0,
         )

@@ -14,6 +14,23 @@ so the cache — a :class:`~repro.sim.network.SegmentCache` hosted on the
 DataPlane of a study: rebuilding the DataPlane each snapshot changes the
 era (the flap/churn draw) without throwing the warm path enumerations
 away.
+
+On top of the internet-scoped segment cache sit two **era-scoped**
+memoizations (DESIGN §8), both exact:
+
+* a :class:`RouteCache` memoizing the destination-based decisions —
+  IP2AS origin, BGP AS-path and per-AS egress selection — per
+  destination /24 (every probe of a traceroute, and every monitor pair
+  aimed at the same /24, repeats them verbatim);
+* a hop-materialization cache in :meth:`DataPlane._walk_as` keyed by
+  ``(asn, entry, target, segment index | TE session, internal)``:
+  within one era an LSP's observable hops are flow-invariant, so the
+  frozen :class:`HopObs` tuples are built once and shared as flyweights
+  across every trace that rides the same LSP.
+
+Both caches die with the DataPlane because flap/churn draws are per era;
+the segment cache survives because segments are era-independent modulo
+the flapped-link set (which keys its degraded entries).
 """
 
 from __future__ import annotations
@@ -25,12 +42,29 @@ from ..igp.ecmp import flow_hash
 from ..mpls.fec import PrefixFec
 from ..mpls.vendor import get_profile
 from ..net.ip import Prefix
+from ..obs import get_registry
 from .network import (
     AsNetwork,
     Internet,
     SegmentCache,
     destination_prefix,
 )
+
+_ROUTE_HITS = get_registry().counter(
+    "route_cache_hits_total",
+    "Destination /24 route resolutions served from a RouteCache")
+_ROUTE_MISSES = get_registry().counter(
+    "route_cache_misses_total",
+    "Route resolutions computed and memoized (first probe to a /24)")
+_HOP_HITS = get_registry().counter(
+    "hop_cache_hits_total",
+    "Per-AS hop materializations served from the era's hop cache")
+_HOP_MISSES = get_registry().counter(
+    "hop_cache_misses_total",
+    "Per-AS hop sequences materialized and memoized")
+
+# Hop-cache key tags: which forwarding branch materialized the entry.
+_TE, _LDP, _IP = 0, 1, 2
 
 
 @dataclass(frozen=True)
@@ -69,6 +103,49 @@ class UnreachableError(RuntimeError):
     """Raised when no valley-free route exists towards the destination."""
 
 
+class RouteCache:
+    """Destination-based routing decisions, memoized per /24.
+
+    IP2AS origin lookup, the BGP AS-path and every transit AS's egress
+    (plus the neighbor border's :class:`HopObs`) are functions of the
+    destination /24 alone — never of the flow key — so one resolution
+    serves every probe of every traceroute towards that /24 within an
+    era.  ``hits``/``misses`` count once per ``forward_path`` call, so
+    ``hits + misses`` reconciles exactly with the traces issued over
+    this cache (including unreachable destinations, whose negative
+    entries are memoized too).
+    """
+
+    __slots__ = ("hits", "misses", "routes", "egress")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        # (src_asn, dst_addr >> 8) -> (dst_origin | None, as_path | None,
+        # dst_prefix); origin None = no simulated AS, path None = no route.
+        self.routes: Dict[Tuple[int, int], tuple] = {}
+        # (asn, next_asn, dst /24 network) -> (egress router, remote
+        # router, remote border HopObs)
+        self.egress: Dict[Tuple[int, int, int], tuple] = {}
+
+
+class _FecLabels:
+    """``label_of`` for an LDP FEC: router -> label from its LFIB.
+
+    A tiny callable object instead of a per-probe closure: the LFIB
+    accessor and FEC are bound once per LSP materialization.
+    """
+
+    __slots__ = ("_lfib", "_fec")
+
+    def __init__(self, lfib, fec: PrefixFec):
+        self._lfib = lfib
+        self._fec = fec
+
+    def __call__(self, router: int) -> Optional[int]:
+        return self._lfib(router).label_for(self._fec)
+
+
 class DataPlane:
     """Flow-level forwarding over one frozen network state.
 
@@ -76,11 +153,18 @@ class DataPlane:
     ``flap_rate`` it selects a deterministic set of transiently failed
     links (withdrawn from the IGP for this era only), the routing noise
     that the paper's Persistence filter exists to remove.
+
+    ``memoize`` enables the per-era route/hop caches (on by default —
+    they are exact, so results are bit-identical either way; switching
+    them off exists for benchmarking the uncached reference).  The
+    DataPlane must not outlive control-plane mutations: rebuild it after
+    any ``apply_policies``/``tick``/label churn, as the simulators do.
     """
 
     def __init__(self, internet: Internet, era: int = 0,
                  flap_rate: float = 0.0, egress_noise: float = 0.0,
-                 cache: Optional[SegmentCache] = None):
+                 cache: Optional[SegmentCache] = None,
+                 memoize: bool = True):
         if not 0.0 <= flap_rate < 1.0:
             raise ValueError(f"flap_rate out of [0,1): {flap_rate}")
         if not 0.0 <= egress_noise < 1.0:
@@ -99,6 +183,14 @@ class DataPlane:
         self._cache = cache if cache is not None \
             else internet.segment_cache
         self._flapped: Dict[int, frozenset] = {}
+        self.memoize = memoize
+        self.route_cache: Optional[RouteCache] = \
+            RouteCache() if memoize else None
+        self._hop_cache: Optional[Dict[tuple, Tuple[HopObs, ...]]] = \
+            {} if memoize else None
+        self.hop_cache_hits = 0
+        self.hop_cache_misses = 0
+        self._flushed = [0, 0, 0, 0]
 
     def flapped_links(self, asn: int) -> frozenset:
         """Link ids of one AS that are down during this era."""
@@ -130,17 +222,16 @@ class DataPlane:
         port variation — neither the BGP decision nor a TE tunnel
         selection, which are destination-based.
         """
-        dst_origin = self.internet.ip2as.lookup_single(dst_addr)
-        if dst_origin not in self.internet.networks:
+        dst_origin, as_path, dst_prefix = \
+            self._resolve_route(src_asn, dst_addr)
+        if dst_origin is None:
             raise UnreachableError(
                 f"destination {dst_addr} maps to no simulated AS"
             )
-        as_path = self.internet.routing.as_path(src_asn, dst_origin)
         if as_path is None:
             raise UnreachableError(
                 f"no route from AS{src_asn} to AS{dst_origin}"
             )
-        dst_prefix = Prefix.from_host(dst_addr, 24)
         flow_digest = flow_hash(src_addr, dst_addr, flow_id)
 
         hops: List[HopObs] = []
@@ -158,21 +249,92 @@ class DataPlane:
                                    quotes_labels=False))
                 break
             next_asn = as_path[position + 1]
-            (egress, _egress_addr, _remote_asn, remote_router,
-             remote_addr) = self._egress_towards(asn, next_asn,
-                                                 dst_prefix)
+            egress, remote_router, remote_hop = \
+                self._transit_step(asn, next_asn, dst_prefix)
             hops.extend(self._walk_as(network, entry_router, egress,
                                       dst_prefix, flow_digest,
                                       internal=False))
             # The inter-AS step: the neighbor's border replies with its
             # side of the peering link.
-            next_network = self.internet.network(next_asn)
-            hops.append(self._plain_hop(next_network, remote_router,
-                                        remote_addr))
+            hops.append(remote_hop)
             entry_router = remote_router
         return hops
 
+    def flush_cache_metrics(self) -> None:
+        """Publish cache hit/miss deltas to the :mod:`repro.obs` registry.
+
+        Deltas since the last flush, so repeated flushes (one per
+        ``trace_all``) never double-count.  These counters describe
+        per-process cache behaviour: serial and sharded runs split the
+        same probe stream over differently warmed caches, so the
+        checkpoint layer strips them from persisted metrics deltas
+        (DESIGN §8) — total probe/trace counters stay layout-invariant.
+        """
+        route = self.route_cache
+        if route is None:
+            return
+        flushed = self._flushed
+        for index, (counter, value) in enumerate((
+                (_ROUTE_HITS, route.hits),
+                (_ROUTE_MISSES, route.misses),
+                (_HOP_HITS, self.hop_cache_hits),
+                (_HOP_MISSES, self.hop_cache_misses))):
+            delta = value - flushed[index]
+            if delta:
+                counter.inc(delta)
+            flushed[index] = value
+
     # -- helpers -------------------------------------------------------------
+
+    def _resolve_route(self, src_asn: int, dst_addr: int) -> tuple:
+        """(origin, AS-path, /24 prefix) for a destination, memoized.
+
+        Origin None means the address maps to no simulated AS; path
+        None means BGP offers no route — callers raise the matching
+        :class:`UnreachableError` with the *probed* address, so error
+        text is identical whether or not the negative entry was cached.
+        """
+        cache = self.route_cache
+        if cache is None:
+            return self._compute_route(src_asn, dst_addr)
+        key = (src_asn, dst_addr >> 8)
+        entry = cache.routes.get(key)
+        if entry is None:
+            cache.misses += 1
+            entry = self._compute_route(src_asn, dst_addr)
+            cache.routes[key] = entry
+        else:
+            cache.hits += 1
+        return entry
+
+    def _compute_route(self, src_asn: int, dst_addr: int) -> tuple:
+        dst_origin = self.internet.ip2as.lookup_single(dst_addr)
+        if dst_origin not in self.internet.networks:
+            return (None, None, None)
+        as_path = self.internet.routing.as_path(src_asn, dst_origin)
+        return (dst_origin, as_path, Prefix.from_host(dst_addr, 24))
+
+    def _transit_step(self, asn: int, next_asn: int,
+                      dst_prefix: Prefix) -> tuple:
+        """(egress router, remote router, remote HopObs), memoized.
+
+        The egress decision and the neighbor border's observation are
+        destination-/24-based, so one resolution serves every flow.
+        """
+        cache = self.route_cache
+        if cache is not None:
+            key = (asn, next_asn, dst_prefix.network)
+            step = cache.egress.get(key)
+            if step is not None:
+                return step
+        (egress, _egress_addr, _remote_asn, remote_router,
+         remote_addr) = self._egress_towards(asn, next_asn, dst_prefix)
+        remote_hop = self._plain_hop(self.internet.network(next_asn),
+                                     remote_router, remote_addr)
+        step = (egress, remote_router, remote_hop)
+        if cache is not None:
+            cache.egress[key] = step
+        return step
 
     def _egress_towards(self, asn: int, next_asn: int,
                         dst_prefix: Prefix):
@@ -225,7 +387,9 @@ class DataPlane:
         return self._cache.base_segments(network, entry, target)
 
     def _pick_segment(self, network: AsNetwork, entry: int, target: int,
-                      flow_digest: int) -> list:
+                      flow_digest: int) -> Tuple[int, list]:
+        """The flow's equal-cost segment, plus its index (the flow-
+        dependent part of a hop-cache key)."""
         segments = self._segments(network, entry, target)
         if not segments:
             raise UnreachableError(
@@ -234,28 +398,54 @@ class DataPlane:
             )
         index = flow_hash(flow_digest, network.asn, entry, target) \
             % len(segments)
-        return segments[index]
+        return index, segments[index]
+
+    def _cached_hops(self, key: tuple) -> Optional[Tuple[HopObs, ...]]:
+        cache = self._hop_cache
+        if cache is None:
+            return None
+        hops = cache.get(key)
+        if hops is not None:
+            self.hop_cache_hits += 1
+        return hops
+
+    def _store_hops(self, key: tuple,
+                    hops: Tuple[HopObs, ...]) -> Tuple[HopObs, ...]:
+        if self._hop_cache is not None:
+            self.hop_cache_misses += 1
+            self._hop_cache[key] = hops
+        return hops
 
     def _walk_as(self, network: AsNetwork, entry: int, target: int,
                  dst_prefix: Prefix, flow_digest: int,
-                 internal: bool) -> List[HopObs]:
+                 internal: bool) -> Sequence[HopObs]:
         """Hops after the entry router, up to and including the target.
 
         Chooses between a TE tunnel, an LDP LSP, and plain IP forwarding
         according to the AS's current policy; emits label observations
-        exactly as the probes would collect them.
+        exactly as the probes would collect them.  Materialized hop
+        tuples are cached per (AS pair, chosen LSP/segment): all flow
+        dependence is captured by the segment index (or, for TE, the
+        destination-selected session), so cached entries are exact and
+        the frozen :class:`HopObs` flyweights can be shared across
+        traces.  SR hops are never cached — their shrinking label
+        stacks depend on the flow's ECMP walk itself.
         """
         if entry == target:
-            return []
+            return ()
         policy = network.policy
         if policy.enabled and (policy.ldp or policy.uses_te
                                or policy.uses_sr):
             session = network.te_tunnel_for(entry, target, dst_prefix)
             if session is not None:
-                return self._mpls_hops(
-                    network, [step for step in session.route],
-                    label_of=lambda r: session.labels.get(r),
-                )
+                key = (network.asn, entry, target, _TE,
+                       session.fec.tunnel_id, session.fec.instance,
+                       internal)
+                hops = self._cached_hops(key)
+                if hops is None:
+                    hops = self._store_hops(key, tuple(self._mpls_hops(
+                        network, session.route, session.labels.get)))
+                return hops
             if not internal:
                 sr_policy = network.sr_policy_for(entry, target,
                                                   dst_prefix)
@@ -268,18 +458,26 @@ class DataPlane:
             if use_ldp:
                 fec = network.transit_fec(target)
                 if fec is not None:
-                    steps = self._pick_segment(network, entry, target,
-                                               flow_digest)
-                    lfib = network.labels.lfib
-                    return self._mpls_hops(
-                        network, steps,
-                        label_of=lambda r: lfib(r).label_for(fec),
-                    )
-        steps = self._pick_segment(network, entry, target, flow_digest)
-        return [
-            self._plain_hop(network, router, link.address_of(router))
-            for router, link in steps
-        ]
+                    index, steps = self._pick_segment(
+                        network, entry, target, flow_digest)
+                    key = (network.asn, entry, target, _LDP, index,
+                           internal)
+                    hops = self._cached_hops(key)
+                    if hops is None:
+                        hops = self._store_hops(key, tuple(
+                            self._mpls_hops(
+                                network, steps,
+                                _FecLabels(network.labels.lfib, fec))))
+                    return hops
+        index, steps = self._pick_segment(network, entry, target,
+                                          flow_digest)
+        key = (network.asn, entry, target, _IP, index, internal)
+        hops = self._cached_hops(key)
+        if hops is None:
+            hops = self._store_hops(key, tuple(
+                self._plain_hop(network, router, link.address_of(router))
+                for router, link in steps))
+        return hops
 
     def _sr_hops(self, network: AsNetwork, sr_policy,
                  flow_digest: int) -> List[HopObs]:

@@ -459,6 +459,14 @@ class SegmentCache:
         # (asn, entry, target, excluded link ids) -> degraded segments
         self._degraded: Dict[Tuple[int, int, int, frozenset],
                              List[list]] = {}
+        # Plain-int hit/miss tallies.  Deliberately not registry
+        # counters: the cache is shared internet-wide across eras and
+        # worker layouts, so its totals are per-process observability,
+        # inspected directly by tests and benchmarks.
+        self.base_hits = 0
+        self.base_misses = 0
+        self.degraded_hits = 0
+        self.degraded_misses = 0
 
     def base_segments(self, network: AsNetwork, entry: int,
                       target: int) -> List[list]:
@@ -466,9 +474,12 @@ class SegmentCache:
         key = (network.asn, entry, target)
         segments = self._base.get(key)
         if segments is None:
+            self.base_misses += 1
             dag = network.spf.to_destination(target)
             segments = dag.all_paths(entry, limit=self.SEGMENT_LIMIT)
             self._base[key] = segments
+        else:
+            self.base_hits += 1
         return segments
 
     def degraded_segments(self, network: AsNetwork, entry: int,
@@ -478,17 +489,22 @@ class SegmentCache:
 
         Falls back to the intact segments when the exclusion would
         disconnect the pair — a flap on the only path reconverges before
-        traffic is affected at our observation timescale.
+        traffic is affected at our observation timescale.  Entries are
+        keyed by the exact excluded-link frozenset, so two eras whose
+        flap draws overlap on an AS hit the same entries.
         """
         key = (network.asn, entry, target, excluded)
         segments = self._degraded.get(key)
         if segments is None:
+            self.degraded_misses += 1
             dag = spf_to(network.topology, target,
                          excluded_links=excluded)
             segments = dag.all_paths(entry, limit=self.SEGMENT_LIMIT)
             if not segments:
                 segments = self.base_segments(network, entry, target)
             self._degraded[key] = segments
+        else:
+            self.degraded_hits += 1
         return segments
 
 

@@ -11,10 +11,20 @@ semantics of ICMP-Paris traceroute against RFC 4950 routers:
   consecutive silent hops the trace is abandoned;
 * transient per-probe loss is drawn deterministically from the engine
   seed, so a cycle's dataset is reproducible yet differs between cycles.
+
+The engine memoizes the decoded quoted label stack per ``(labels,
+LSE-TTL)`` pair: the RFC 4884/4950 reply bytes depend only on the MPLS
+object (the quoted probe datagram is skipped by the decoder), so every
+probe expiring with the same stack decodes to the same tuple — encoding
+once per distinct stack instead of once per probe is bit-identical.
+Like the DataPlane's route/hop caches, it is gated on
+``dataplane.memoize`` and its counters are flushed to :mod:`repro.obs`
+after each ``trace_all``.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import List, Optional
 
 from ..igp.ecmp import flow_hash
@@ -34,6 +44,12 @@ _PROBES_UNANSWERED = get_registry().counter(
     "Probes with no reply (loss or unresponsive router)")
 _TRACES = get_registry().counter(
     "traces_total", "Traceroutes completed, by stop reason")
+_STACK_HITS = get_registry().counter(
+    "quoted_stack_cache_hits_total",
+    "ICMP quoted-stack decodes served from the engine's cache")
+_STACK_MISSES = get_registry().counter(
+    "quoted_stack_cache_misses_total",
+    "ICMP quoted stacks encoded + decoded (first probe per stack)")
 
 
 class TracerouteEngine:
@@ -49,6 +65,11 @@ class TracerouteEngine:
         self.loss_rate = loss_rate
         self.gap_limit = gap_limit
         self.max_ttl = max_ttl
+        self._stack_cache: Optional[dict] = \
+            {} if dataplane.memoize else None
+        self.stack_cache_hits = 0
+        self.stack_cache_misses = 0
+        self._flushed = [0, 0]
 
     def trace(self, monitor: Monitor, dst_addr: int,
               timestamp: float = 0.0) -> Trace:
@@ -70,7 +91,7 @@ class TracerouteEngine:
         hops: List[TraceHop] = []
         silent_streak = 0
         stop = StopReason.TTL_EXHAUSTED
-        for ttl, obs in enumerate([first_hop] + path, start=1):
+        for ttl, obs in enumerate(chain((first_hop,), path), start=1):
             if ttl > self.max_ttl:
                 break
             hop = self._reply_for(monitor, dst_addr, ttl, obs)
@@ -96,8 +117,29 @@ class TracerouteEngine:
     def trace_all(self, pairs, timestamp: float = 0.0) -> List[Trace]:
         """Trace every (monitor, destination) pair of an iterable."""
         with span("sim.trace_all"):
-            return [self.trace(monitor, dst, timestamp)
-                    for monitor, dst in pairs]
+            traces = [self.trace(monitor, dst, timestamp)
+                      for monitor, dst in pairs]
+            self.flush_cache_metrics()
+            return traces
+
+    def flush_cache_metrics(self) -> None:
+        """Publish this engine's (and its dataplane's) cache counters.
+
+        Deltas since the last flush; like the route/hop counters these
+        are per-process observability and are stripped from persisted
+        checkpoint deltas (DESIGN §8).
+        """
+        self.dataplane.flush_cache_metrics()
+        if self._stack_cache is None:
+            return
+        flushed = self._flushed
+        for index, (counter, value) in enumerate((
+                (_STACK_HITS, self.stack_cache_hits),
+                (_STACK_MISSES, self.stack_cache_misses))):
+            delta = value - flushed[index]
+            if delta:
+                counter.inc(delta)
+            flushed[index] = value
 
     # -- internals -----------------------------------------------------------
 
@@ -107,26 +149,19 @@ class TracerouteEngine:
             return TraceHop(probe_ttl=ttl, address=None)
         stack = ()
         if obs.labels and obs.quotes_labels:
-            # Build the actual ICMP time-exceeded reply (RFC 4884
-            # structure carrying an RFC 4950 MPLS object) and parse it
-            # back — the byte path a real traceroute implementation
-            # takes.
-            wire_stack = LabelStack([
-                LabelStackEntry(
-                    label=label,
-                    tc=0,
-                    bottom=(index == len(obs.labels) - 1),
-                    ttl=obs.lse_ttl,  # LSE-TTL the expiring probe wore
-                )
-                for index, label in enumerate(obs.labels)
-            ])
-            message = TimeExceeded(
-                quoted=build_probe_quote(monitor.src_addr, dst_addr,
-                                         ttl),
-                stack=wire_stack,
-            )
-            decoded = TimeExceeded.decode(message.encode())
-            stack = tuple(decoded.stack)
+            cache = self._stack_cache
+            if cache is None:
+                stack = self._decode_stack(monitor, dst_addr, ttl, obs)
+            else:
+                key = (obs.labels, obs.lse_ttl)
+                stack = cache.get(key)
+                if stack is None:
+                    self.stack_cache_misses += 1
+                    stack = self._decode_stack(monitor, dst_addr, ttl,
+                                               obs)
+                    cache[key] = stack
+                else:
+                    self.stack_cache_hits += 1
         return TraceHop(
             probe_ttl=ttl,
             address=obs.address,
@@ -134,6 +169,31 @@ class TracerouteEngine:
             quoted_stack=stack,
             quoted_ttl=obs.quoted_ttl,
         )
+
+    def _decode_stack(self, monitor: Monitor, dst_addr: int, ttl: int,
+                      obs: HopObs) -> tuple:
+        """Encode + re-decode the ICMP time-exceeded reply.
+
+        The RFC 4884 structure carries an RFC 4950 MPLS object; parsing
+        it back is the byte path a real traceroute implementation
+        takes.  The decoded stack is a pure function of ``(obs.labels,
+        obs.lse_ttl)`` — the quoted probe datagram is skipped by the
+        decoder — which is what makes the per-stack cache exact.
+        """
+        wire_stack = LabelStack([
+            LabelStackEntry(
+                label=label,
+                tc=0,
+                bottom=(index == len(obs.labels) - 1),
+                ttl=obs.lse_ttl,  # LSE-TTL the expiring probe wore
+            )
+            for index, label in enumerate(obs.labels)
+        ])
+        message = TimeExceeded(
+            quoted=build_probe_quote(monitor.src_addr, dst_addr, ttl),
+            stack=wire_stack,
+        )
+        return tuple(TimeExceeded.decode(message.encode()).stack)
 
     def _lost(self, monitor: Monitor, dst_addr: int, ttl: int) -> bool:
         if self.loss_rate <= 0.0:

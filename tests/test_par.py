@@ -6,15 +6,25 @@ metrics, same end-of-campaign simulator state — and the per-shard
 metrics deltas reconcile exactly with serial totals.
 """
 
+import json
+
 import pytest
 
 from repro.analysis import LongitudinalStudy, Study, regenerate
 from repro.cli import main
 from repro.core.pipeline import run_study
-from repro.obs import MetricsRegistry
-from repro.par import Shard, StudySpec, build_study, shard_cycles
+from repro.obs import MetricsRegistry, get_registry
+from repro.par import (
+    CheckpointStore,
+    Shard,
+    StudySpec,
+    build_study,
+    plan_shards,
+    shard_cycles,
+)
 
 SPEC = StudySpec(scale=0.25, seed=7, cycles=4, snapshots_per_cycle=2)
+SPEC1 = StudySpec(scale=0.25, seed=7, cycles=1, snapshots_per_cycle=2)
 
 
 @pytest.fixture(scope="module")
@@ -25,6 +35,11 @@ def serial_run():
 @pytest.fixture(scope="module")
 def parallel_run():
     return run_study(SPEC, workers=2)
+
+
+@pytest.fixture(scope="module")
+def serial_one():
+    return run_study(SPEC1, workers=1)
 
 
 class TestShardCycles:
@@ -138,13 +153,44 @@ class TestShardReconciliation:
         assert serial_run.shards == []
 
 
+class TestPlanShards:
+    def test_few_workers_delegates_to_shard_cycles(self):
+        assert plan_shards(1, 8, 3) == shard_cycles(1, 8, 3)
+        assert plan_shards(1, 4, 4) == shard_cycles(1, 4, 4)
+
+    def test_surplus_workers_split_cycles_into_blocks(self):
+        shards = plan_shards(1, 2, 5)
+        assert [(s.first, s.block) for s in shards] == [
+            (1, (0, 3)), (1, (1, 3)), (1, (2, 3)),
+            (2, (0, 2)), (2, (1, 2)),
+        ]
+        assert [s.shard_id for s in shards] == list(range(5))
+
+    def test_single_cycle_takes_every_worker(self):
+        shards = plan_shards(1, 1, 4)
+        assert [(s.first, s.last, s.block) for s in shards] == \
+            [(1, 1, (index, 4)) for index in range(4)]
+
+    def test_exact_fit_gets_no_blocks(self):
+        assert all(s.block is None for s in plan_shards(1, 3, 3))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            plan_shards(1, 4, 0)
+
+    def test_empty_range(self):
+        assert plan_shards(5, 4, 3) == []
+
+
 class TestOversubscription:
-    """workers >= cycles: shards clamp to one cycle each, idle worker
-    slots are simply never used, and output stays byte-identical."""
+    """workers >= cycles: every cycle becomes its own unit, and surplus
+    workers split cycles into pair blocks — output stays byte-identical
+    either way."""
 
     def test_workers_equal_cycles(self, serial_run):
         run = run_study(SPEC, workers=SPEC.cycles)
         assert len(run.shards) == SPEC.cycles
+        assert all(s.block is None for s in run.shards)
         assert all(len(s.results) == 1 for s in run.shards)
         for serial, parallel in zip(serial_run.results, run.results):
             assert serial.stats == parallel.stats
@@ -152,9 +198,13 @@ class TestOversubscription:
 
     def test_workers_exceed_cycles(self, serial_run):
         run = run_study(SPEC, workers=SPEC.cycles * 2)
-        # shard_cycles clamps: never more (or emptier) shards than
-        # cycles, so no worker ever receives an empty range.
-        assert len(run.shards) == SPEC.cycles
+        # plan_shards keeps sharding inside the cycles: 8 workers over
+        # 4 cycles = 2 pair blocks per cycle, reassembled in pair order.
+        assert [s.block for s in run.shards] == [
+            (cycle, index, 2)
+            for cycle in range(1, SPEC.cycles + 1)
+            for index in range(2)
+        ]
         assert [r.cycle for r in run.results] == \
             [r.cycle for r in serial_run.results]
         for serial, parallel in zip(serial_run.results, run.results):
@@ -169,6 +219,97 @@ class TestOversubscription:
             shards = shard_cycles(1, SPEC.cycles, workers)
             assert all(len(shard) >= 1 for shard in shards)
             assert len(shards) == min(workers, SPEC.cycles)
+
+
+class TestIntraCycle:
+    """A 1-cycle study sharded over 4 workers: pair blocks reassemble
+    into byte-identical results, metrics, artifacts and checkpoints."""
+
+    @pytest.fixture(scope="class")
+    def blocked_run(self):
+        return run_study(SPEC1, workers=4)
+
+    def test_shards_are_pair_blocks(self, blocked_run):
+        assert [s.block for s in blocked_run.shards] == \
+            [(1, index, 4) for index in range(4)]
+        assert all(s.results == [] for s in blocked_run.shards)
+
+    def test_results_byte_identical(self, serial_one, blocked_run):
+        serial, = serial_one.results
+        parallel, = blocked_run.results
+        assert serial.stats == parallel.stats
+        assert serial.filter_stats == parallel.filter_stats
+        assert serial.iotps.keys() == parallel.iotps.keys()
+        assert serial.classification.verdicts == \
+            parallel.classification.verdicts
+        assert serial.metrics == parallel.metrics
+
+    def test_simulator_end_state_identical(self, serial_one,
+                                           blocked_run):
+        assert _state_fingerprint(serial_one.simulator.internet) == \
+            _state_fingerprint(blocked_run.simulator.internet)
+
+    @pytest.mark.parametrize("artifact", ["table1", "fig7"])
+    def test_artifacts_byte_identical(self, serial_one, blocked_run,
+                                      artifact):
+        assert str(regenerate(_study(serial_one), artifact)) == \
+            str(regenerate(_study(blocked_run), artifact))
+
+    def test_checkpoints_byte_identical_across_layouts(self, tmp_path):
+        run_study(SPEC1, workers=1, checkpoint_dir=tmp_path / "serial")
+        run_study(SPEC1, workers=4,
+                  checkpoint_dir=tmp_path / "parallel")
+        serial_store = CheckpointStore(tmp_path / "serial", SPEC1)
+        parallel_store = CheckpointStore(tmp_path / "parallel", SPEC1)
+        # The assembled cycle is checkpointed under the serial key, and
+        # stripping the layout-dependent cache counters makes the two
+        # files byte-for-byte equal.
+        assert serial_store.path_for(1, 1).read_bytes() == \
+            parallel_store.path_for(1, 1).read_bytes()
+        for index in range(4):
+            assert parallel_store.path_for(1, 1, (index, 4)).exists()
+
+    def test_serial_checkpoints_seed_parallel_resume(self, serial_one,
+                                                     tmp_path):
+        run_study(SPEC1, workers=1, checkpoint_dir=tmp_path)
+        resumed = run_study(SPEC1, workers=4, checkpoint_dir=tmp_path)
+        # Every pair block was satisfied by the one cycle-level
+        # checkpoint the serial run wrote.
+        assert [s.block for s in resumed.shards] == [None]
+        serial, = serial_one.results
+        restored, = resumed.results
+        assert serial.stats == restored.stats
+        assert serial.metrics == restored.metrics
+
+    def test_partial_block_resume(self, serial_one, tmp_path):
+        run_study(SPEC1, workers=4, checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path, SPEC1)
+        store.path_for(1, 1).unlink()
+        store.path_for(1, 1, (2, 4)).unlink()
+        resumed = run_study(SPEC1, workers=4, checkpoint_dir=tmp_path)
+        serial, = serial_one.results
+        restored, = resumed.results
+        assert serial.stats == restored.stats
+        assert serial.filter_stats == restored.filter_stats
+        assert serial.metrics == restored.metrics
+
+
+class TestCacheReconciliation:
+    """The memoization counters reconcile with the probe stream."""
+
+    def test_route_cache_counters_match_traces(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        run_study(SPEC1, workers=1)
+        delta = registry.diff(before, registry.snapshot())
+        traces = _total(delta, "sim_traces_total")
+        assert traces > 0
+        # Every trace resolves its route exactly once — a hit or a miss.
+        assert _total(delta, "route_cache_hits_total") + \
+            _total(delta, "route_cache_misses_total") == traces
+        assert _total(delta, "hop_cache_hits_total") > 0
+        assert _total(delta, "hop_cache_misses_total") > 0
+        assert _total(delta, "quoted_stack_cache_hits_total") > 0
 
 
 class TestFastForward:
@@ -200,6 +341,23 @@ class TestCliWorkers:
         assert code == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_metrics_out_exports_cache_counters(self, tmp_path,
+                                                capsys):
+        out = tmp_path / "metrics.json"
+        code = main(["--metrics-out", str(out), "study", "--cycles",
+                     "1", "--scale", "0.25", "--workers", "2",
+                     "--artifacts", "table1"])
+        assert code == 0
+        capsys.readouterr()
+        metrics = json.loads(out.read_text())["metrics"]
+        for name in ("route_cache_hits_total",
+                     "route_cache_misses_total",
+                     "hop_cache_hits_total", "hop_cache_misses_total",
+                     "quoted_stack_cache_hits_total",
+                     "quoted_stack_cache_misses_total",
+                     "par_pair_blocks_total"):
+            assert name in metrics, name
+
 
 def _study(run):
     return Study(simulator=run.simulator, pipeline=run.pipeline,
@@ -225,6 +383,12 @@ def _state_fingerprint(internet):
         )) if network.rsvp else ()
         state.append((asn, allocators, sessions))
     return state
+
+
+def _total(delta, name):
+    """Summed value of one metric across a registry delta's labels."""
+    return sum(entry["value"]
+               for entry in delta.get(name, {}).get("values", []))
 
 
 def _summed_drops(deltas):

@@ -218,3 +218,43 @@ def _sample_traces():
 
     simulator, _ = build_study(SPEC)
     return simulator.run_cycle(1).snapshots[0][:5]
+
+
+class TestPairBlockFaults:
+    """Intra-cycle pair blocks ride the same retry machinery: a failed
+    block subdivides into half-blocks and the reassembled cycle stays
+    byte-identical (DESIGN §8)."""
+
+    SPEC1 = StudySpec(scale=0.25, seed=7, cycles=1,
+                      snapshots_per_cycle=2)
+
+    def test_failed_blocks_subdivide_and_recover(self):
+        serial = run_study(self.SPEC1, workers=1)
+        # The fault keys on the shard's first cycle, so every block of
+        # the single cycle raises on its first attempt; each comes
+        # back as two half-blocks on attempt 1.
+        plan = FaultPlan({1: ShardFault(kind=RAISE, attempts=(0,))})
+        before = _counter_total("par_shard_retries_total")
+        run = run_study(self.SPEC1, workers=4, fault_plan=plan,
+                        backoff_base=0.0, subdivide=True)
+        assert _counter_total("par_shard_retries_total") == before + 4
+        assert sorted(s.block for s in run.shards) == \
+            [(1, index, 8) for index in range(8)]
+        _assert_identical(serial, run)
+
+    def test_block_retry_without_subdivision(self):
+        serial = run_study(self.SPEC1, workers=1)
+        plan = FaultPlan({1: ShardFault(kind=RAISE, attempts=(0,))})
+        run = run_study(self.SPEC1, workers=2, fault_plan=plan,
+                        backoff_base=0.0, subdivide=False)
+        assert sorted(s.block for s in run.shards) == \
+            [(1, index, 2) for index in range(2)]
+        _assert_identical(serial, run)
+
+    def test_block_exhaustion_aborts_the_study(self):
+        plan = FaultPlan({1: ShardFault(kind=RAISE,
+                                        attempts=(0, 1, 2, 3))})
+        with pytest.raises(StudyFailure):
+            run_study(self.SPEC1, workers=2, fault_plan=plan,
+                      max_retries=1, backoff_base=0.0,
+                      subdivide=False)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.mpls.vendor import get_profile
 from repro.net.ip import Prefix
+from repro.obs import get_registry
 from repro.sim.config import AsSpec, MplsPolicy, UniverseSpec
 from repro.sim.dataplane import DataPlane, UnreachableError
 from repro.sim.network import Internet
@@ -281,3 +282,74 @@ class TestRoutingNoise:
         internet = build()
         with pytest.raises(ValueError):
             DataPlane(internet, flap_rate=1.5)
+
+
+class TestMemoization:
+    """The per-era route/hop caches are exact and fully observable."""
+
+    def test_memoized_paths_match_uncached(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True), ecmp=2)
+        cached = DataPlane(internet)
+        uncached = DataPlane(internet, memoize=False)
+        assert uncached.route_cache is None
+        for asn in (DST_AS, OTHER_DST_AS):
+            dst = a_destination(internet, asn)
+            for flow_id in range(4):
+                assert cached.forward_path(
+                    SRC_AS, 1, 99, dst, flow_id) == \
+                    uncached.forward_path(SRC_AS, 1, 99, dst, flow_id)
+
+    def test_route_cache_counts_once_per_forward(self):
+        internet = build()
+        dataplane = DataPlane(internet)
+        dst = a_destination(internet)
+        dataplane.forward_path(SRC_AS, 1, 99, dst)
+        dataplane.forward_path(SRC_AS, 1, 99, dst, flow_id=1)
+        cache = dataplane.route_cache
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_unreachable_is_memoized_with_identical_error(self):
+        internet = build()
+        dataplane = DataPlane(internet)
+        dst = Prefix.parse("203.0.113.0/24").first
+        messages = []
+        for _ in range(2):
+            with pytest.raises(UnreachableError) as err:
+                dataplane.forward_path(SRC_AS, 1, 99, dst)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+        # The negative entry is cached too: one miss, then a hit.
+        cache = dataplane.route_cache
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_hop_observations_are_shared_flyweights(self):
+        internet = build(MplsPolicy(enabled=True, ldp=True))
+        dataplane = DataPlane(internet)
+        dst = a_destination(internet)
+        first = dataplane.forward_path(SRC_AS, 1, 99, dst)
+        second = dataplane.forward_path(SRC_AS, 1, 99, dst)
+        assert first == second
+        # Hops materialized by _walk_as come back as cached immutable
+        # tuples, so repeated traces share the same HopObs objects.
+        assert any(a is b for a, b in zip(first, second))
+        assert dataplane.hop_cache_hits > 0
+        assert dataplane.hop_cache_misses > 0
+
+    def test_flush_publishes_deltas_once(self):
+        registry = get_registry()
+        internet = build()
+        dataplane = DataPlane(internet)
+        dst = a_destination(internet)
+        dataplane.forward_path(SRC_AS, 1, 99, dst)
+        before = registry.snapshot()
+        dataplane.flush_cache_metrics()
+        dataplane.flush_cache_metrics()  # no new activity: no-op
+        delta = registry.diff(before, registry.snapshot())
+
+        def total(name):
+            return sum(entry["value"]
+                       for entry in delta.get(name, {}).get("values",
+                                                            []))
+
+        assert total("route_cache_misses_total") == 1
+        assert total("route_cache_hits_total") == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.bgp.asgraph import Tier
 from repro.net.ip import Prefix, int_to_ip, ip_to_int
 from repro.sim.config import AsSpec, MplsPolicy, UniverseSpec
+from repro.sim.dataplane import DataPlane
 from repro.sim.network import (
     Internet,
     destination_prefix,
@@ -260,3 +261,44 @@ class TestPaperUniverse:
         small = build_universe(scale=0.4)
         assert small.spec_of(7018).router_count \
             < big.spec_of(7018).router_count
+
+
+class TestSegmentCacheCounters:
+    """The internet-wide segment cache tallies hits/misses exactly."""
+
+    def test_base_hit_after_miss(self):
+        internet = Internet(tiny_universe())
+        cache = internet.segment_cache
+        network = internet.network(100)
+        first = cache.base_segments(network, 0, 7)
+        second = cache.base_segments(network, 0, 7)
+        assert first is second
+        assert (cache.base_misses, cache.base_hits) == (1, 1)
+
+    def test_degraded_entries_keyed_by_flapped_set(self):
+        internet = Internet(tiny_universe())
+        cache = internet.segment_cache
+        network = internet.network(100)
+        links = sorted(network.topology.links)
+        one = frozenset(links[:1])
+        two = frozenset(links[:2])
+        # Two eras whose flap draws overlap on the same AS hit the
+        # same entry; a different excluded set is its own entry.
+        cache.degraded_segments(network, 0, 7, one)
+        cache.degraded_segments(network, 0, 7, one)
+        cache.degraded_segments(network, 0, 7, two)
+        assert cache.degraded_misses == 2
+        assert cache.degraded_hits == 1
+
+    def test_dataplanes_of_different_eras_share_the_cache(self):
+        internet = Internet(tiny_universe())
+        cache = internet.segment_cache
+        first_era = DataPlane(internet, era=1)
+        second_era = DataPlane(internet, era=2)
+        assert first_era._cache is cache
+        assert second_era._cache is cache
+        network = internet.network(100)
+        first_era._segments(network, 0, 7)
+        hits_before = cache.base_hits
+        second_era._segments(network, 0, 7)
+        assert cache.base_hits == hits_before + 1
