@@ -30,6 +30,7 @@ from .experiments import (
     regenerate_all,
     run_longitudinal_study,
 )
+from .flightreport import flight_report, load_trace
 
 __all__ = [
     "LongitudinalStudy",
@@ -60,4 +61,6 @@ __all__ = [
     "regenerate",
     "regenerate_all",
     "run_longitudinal_study",
+    "flight_report",
+    "load_trace",
 ]

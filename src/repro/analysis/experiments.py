@@ -74,7 +74,9 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            snapshots_per_cycle: int = 3,
                            workers: int = 1,
                            checkpoint_dir=None,
-                           max_retries: int = 2) -> Study:
+                           max_retries: int = 2,
+                           progress: Optional[Callable] = None,
+                           progress_clock=None) -> Study:
     """Run the paper's measurement campaign end to end.
 
     ``scale`` shrinks router/prefix counts for fast tests; ``cycles``
@@ -86,6 +88,8 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     makes the campaign restartable (finished shards are persisted and
     replayed instead of re-run) and ``max_retries`` bounds how often a
     crashed shard is re-dispatched before the study aborts.
+    ``progress``/``progress_clock`` pass straight to
+    :func:`repro.par.run_study` for live telemetry (DESIGN §9).
     """
     spec = StudySpec(scale=scale, seed=seed, cycles=cycles or CYCLES,
                      snapshots_per_cycle=snapshots_per_cycle)
@@ -94,7 +98,9 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     with span("study.run", cycles=spec.cycles, workers=workers):
         run = run_study(spec, workers=workers,
                         checkpoint_dir=checkpoint_dir,
-                        max_retries=max_retries)
+                        max_retries=max_retries,
+                        progress=progress,
+                        progress_clock=progress_clock)
     _log.info("study.done", cycles=len(run.results))
     return Study(simulator=run.simulator, pipeline=run.pipeline,
                  longitudinal=LongitudinalStudy(run.results))

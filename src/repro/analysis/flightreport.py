@@ -1,0 +1,264 @@
+"""Post-hoc study reports from flight-recorder artifacts.
+
+``repro report`` reconstructs what a (possibly long-gone) study run did
+from the files the flight recorder left behind:
+
+* the **events file** (``--events-out``, :mod:`repro.obs.events`
+  JSONL) drives the run summary, the shard timeline (dispatches,
+  restores, retries, subdivisions, failures), the cache hit rates and
+  the per-cycle filter-drop trajectories;
+* the optional **trace file** (``--trace-out``, Chrome trace-event
+  JSON) adds wall-time: a per-stage table split into parent and worker
+  tracks, and the top-N slowest cycles.
+
+Everything here is a pure function of the artifact contents — the
+report renders identically wherever and whenever it is run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..obs.events import Event, read_events
+from .render import format_table, sparkline
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list of one Chrome trace JSON file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return payload["traceEvents"]
+
+
+def _by_kind(events: Sequence[Event]) -> Dict[str, List[Event]]:
+    grouped: Dict[str, List[Event]] = {}
+    for event in events:
+        grouped.setdefault(event.kind, []).append(event)
+    return grouped
+
+
+def _summary_section(grouped: Dict[str, List[Event]]) -> List[str]:
+    lines = ["== study =="]
+    start = grouped.get("study.start")
+    done = grouped.get("study.done")
+    plan = grouped.get("study.plan")
+    if start:
+        fields = start[0].fields
+        lines.append(f"cycles: {fields.get('cycles', '?')}  "
+                     f"workers: {fields.get('workers', '?')}")
+    if plan:
+        lines.append(f"planned shards: {plan[0].fields.get('shards')}")
+    counts = {
+        "restored from checkpoint": "shard.restored",
+        "retries": "shard.retry",
+        "subdivisions": "shard.subdivided",
+        "checkpoint writes": "checkpoint.write",
+        "checkpoint rejects": "checkpoint.rejected",
+    }
+    for label, kind in counts.items():
+        if grouped.get(kind):
+            lines.append(f"{label}: {len(grouped[kind])}")
+    if done:
+        lines.append(f"completed: {done[-1].fields.get('cycles')} "
+                     f"cycle results")
+    elif start:
+        lines.append("completed: NO (no study.done event — the run "
+                     "died or the file is truncated)")
+    return lines
+
+
+def _shard_timeline(grouped: Dict[str, List[Event]]) -> List[str]:
+    """One row per shard the runner ever touched, in shard-id order."""
+    shards: Dict[int, Dict[str, Any]] = {}
+
+    def cell(shard_id: int) -> Dict[str, Any]:
+        return shards.setdefault(shard_id, {
+            "work": "", "status": "pending", "attempts": 0,
+            "traces": "", "note": ""})
+
+    for event in grouped.get("shard.dispatch", []):
+        entry = cell(event.fields["shard"])
+        entry["work"] = _work_label(event.fields)
+        entry["attempts"] = max(entry["attempts"],
+                                event.fields.get("attempt", 1))
+        if entry["status"] == "pending":
+            entry["status"] = "dispatched"
+    for event in grouped.get("shard.restored", []):
+        entry = cell(event.fields["shard"])
+        entry["work"] = _work_label(event.fields)
+        entry["status"] = "restored"
+    for event in grouped.get("shard.retry", []):
+        entry = cell(event.fields["shard"])
+        entry["attempts"] = max(entry["attempts"],
+                                event.fields.get("attempt", 0))
+        if entry["status"] != "done":
+            entry["status"] = "retrying"
+        entry["note"] = event.fields.get("error", "")[:40]
+    for event in grouped.get("shard.subdivided", []):
+        entry = cell(event.fields["parent"])
+        entry["status"] = "subdivided"
+        children = event.fields.get("children", [])
+        entry["note"] = "-> " + ",".join(str(c) for c in children)
+    for event in grouped.get("shard.done", []):
+        entry = cell(event.fields["shard"])
+        entry["status"] = "done"
+        entry["traces"] = event.fields.get("traces", "")
+    for event in grouped.get("shard.failed", []):
+        entry = cell(event.fields["shard"])
+        entry["status"] = "FAILED"
+        entry["note"] = event.fields.get("error", "")[:40]
+
+    if not shards:
+        return []
+    rows = [
+        [shard_id, entry["work"], entry["status"],
+         entry["attempts"] or "", entry["traces"], entry["note"]]
+        for shard_id, entry in sorted(shards.items())
+    ]
+    return ["== shard timeline ==",
+            format_table(["shard", "work", "status", "attempts",
+                          "traces", "note"], rows)]
+
+
+def _work_label(fields: Dict[str, Any]) -> str:
+    first, last = fields.get("first"), fields.get("last")
+    block = fields.get("block")
+    if block is not None:
+        return f"cycle {first} block {block[0]}/{block[1]}"
+    if first == last:
+        return f"cycle {first}"
+    return f"cycles {first}-{last}"
+
+
+def _cache_section(grouped: Dict[str, List[Event]]) -> List[str]:
+    """Hit rates summed over shard.done (parallel) and cache.flush
+    (serial) events — the two places cache telemetry surfaces."""
+    hits = misses = 0
+    for event in grouped.get("shard.done", []):
+        hits += event.fields.get("cache_hits", 0)
+        misses += event.fields.get("cache_misses", 0)
+    for event in grouped.get("cache.flush", []):
+        hits += event.fields.get("hits", 0)
+        misses += event.fields.get("misses", 0)
+    total = hits + misses
+    if not total:
+        return []
+    return ["== forwarding-path caches ==",
+            f"hits: {hits:.0f}  misses: {misses:.0f}  "
+            f"hit rate: {hits / total:.1%}"]
+
+
+_FILTERS = ("incomplete", "intra_as", "target_as",
+            "transit_diversity", "persistence")
+
+
+def _cycle_metric(metrics: Dict[str, Any], name: str,
+                  **labels: Any) -> float:
+    total = 0.0
+    for entry in metrics.get(name, {}).get("values", []):
+        if all(entry["labels"].get(k) == v for k, v in labels.items()):
+            total += entry["value"]
+    return total
+
+
+def _filter_section(grouped: Dict[str, List[Event]]) -> List[str]:
+    """Per-filter drop counts across cycles, as sparkline trajectories.
+
+    ``cycle.metrics`` events carry each cycle's registry delta; the
+    ``lsps_dropped_total{filter=...}`` series inside reconstruct the
+    funnel the paper's Table 1 footnotes describe.
+    """
+    cycles = sorted(grouped.get("cycle.metrics", []),
+                    key=lambda e: e.fields.get("cycle", 0))
+    if not cycles:
+        return []
+    extracted = [_cycle_metric(e.fields.get("metrics", {}),
+                               "lsps_extracted_total") for e in cycles]
+    series = {
+        name: [_cycle_metric(e.fields.get("metrics", {}),
+                             "lsps_dropped_total", filter=name)
+               for e in cycles]
+        for name in _FILTERS
+    }
+    lines = ["== filter drops per cycle =="]
+    width = max(len(name) for name in ("extracted",) + _FILTERS)
+    lines.append(f"{'extracted'.ljust(width)} "
+                 f"{sparkline(extracted)} "
+                 f"(total {sum(extracted):.0f})")
+    for name in _FILTERS:
+        values = series[name]
+        lines.append(f"{name.ljust(width)} {sparkline(values)} "
+                     f"(total {sum(values):.0f})")
+    return lines
+
+
+def _stage_section(trace_events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Per-stage totals from the Chrome trace, parent vs workers.
+
+    Track 0 is the parent process; grafted worker subtrees live on
+    ``shard + 1`` (:func:`repro.obs.export.to_chrome_trace`), so the
+    split shows where a sharded study really spent its time.
+    """
+    stages: Dict[Any, Dict[str, float]] = {}
+    order: List[Any] = []
+    for event in trace_events:
+        if event.get("ph") != "X":
+            continue
+        side = "parent" if event.get("tid", 0) == 0 else "worker"
+        key = (event["name"], side)
+        if key not in stages:
+            stages[key] = {"calls": 0, "total_us": 0.0}
+            order.append(key)
+        stages[key]["calls"] += 1
+        stages[key]["total_us"] += event.get("dur", 0.0)
+    if not stages:
+        return []
+    rows = [
+        [name, side, int(cell["calls"]),
+         f"{cell['total_us'] / 1e6:.3f}"]
+        for (name, side), cell in
+        ((key, stages[key]) for key in order)
+    ]
+    return ["== per-stage time (from trace) ==",
+            format_table(["span", "side", "calls", "total s"], rows)]
+
+
+def _slowest_cycles(trace_events: Sequence[Dict[str, Any]],
+                    top: int = 5) -> List[str]:
+    """Top-N ``pipeline.cycle`` spans by duration, wherever they ran."""
+    cycles = [
+        (event.get("args", {}).get("cycle"), event.get("dur", 0.0),
+         "parent" if event.get("tid", 0) == 0 else "worker")
+        for event in trace_events
+        if event.get("ph") == "X" and event["name"] == "pipeline.cycle"
+    ]
+    cycles = [entry for entry in cycles if entry[0] is not None]
+    if not cycles:
+        return []
+    cycles.sort(key=lambda entry: -entry[1])
+    rows = [[cycle, f"{dur / 1e6:.3f}", side]
+            for cycle, dur, side in cycles[:top]]
+    return [f"== slowest cycles (top {min(top, len(cycles))}) ==",
+            format_table(["cycle", "seconds", "side"], rows)]
+
+
+def flight_report(events_path: Union[str, Path],
+                  trace_path: Optional[Union[str, Path]] = None,
+                  top: int = 5) -> str:
+    """The full post-hoc report as one printable string."""
+    grouped = _by_kind(read_events(events_path))
+    sections = [
+        _summary_section(grouped),
+        _shard_timeline(grouped),
+        _cache_section(grouped),
+        _filter_section(grouped),
+    ]
+    if trace_path is not None:
+        trace_events = load_trace(trace_path)
+        sections.append(_stage_section(trace_events))
+        sections.append(_slowest_cycles(trace_events, top=top))
+    return "\n\n".join("\n".join(section)
+                       for section in sections if section)

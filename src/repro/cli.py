@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the measurement workflow:
+Six subcommands mirror the measurement workflow:
 
 * ``simulate`` — run the simulated Archipelago for some cycles, writing
   one warts-like archive per snapshot plus the matching pfx2as table;
@@ -9,12 +9,20 @@ Five subcommands mirror the measurement workflow:
   and classification report;
 * ``audit`` — per-AS MPLS usage profiles from archived snapshots;
 * ``study`` — regenerate paper artifacts from a fresh longitudinal run.
+  Flight-recorder flags: ``--progress`` (live status line on stderr),
+  ``--events-out`` (append-only JSONL event log), ``--trace-out``
+  (Chrome trace-event JSON, loadable in Perfetto);
+* ``report`` — reconstruct a past study from its flight-recorder
+  files.
 
 Example round trip::
 
     repro simulate --cycles 2 --out /tmp/campaign
     repro classify --cycle-dir /tmp/campaign/cycle-01
     repro study --artifacts table1 fig7
+    repro study --workers 4 --progress --events-out events.jsonl \\
+        --trace-out trace.json --artifacts table1
+    repro report events.jsonl --trace trace.json
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .analysis import (
     ALL_ARTIFACTS,
+    flight_report,
     format_table,
     regenerate,
     run_longitudinal_study,
@@ -35,13 +44,17 @@ from .core.report import render_report
 from .core.revelation import TunnelVisibility, visibility_census
 from .net.ip2as import Ip2AsMapper
 from .obs import (
+    EventBus,
     MonotonicClock,
+    ProgressPrinter,
     Tracer,
     configure_logging,
     get_logger,
     get_registry,
     get_tracer,
+    set_event_bus,
     set_tracer,
+    write_chrome_trace,
     write_metrics_json,
 )
 from .sim import ArkSimulator, paper_scenario
@@ -128,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="re-dispatch a crashed shard up to N times "
                             "(exponential backoff) before aborting")
+    study.add_argument("--progress", action="store_true",
+                       help="live one-line progress on stderr (cycles "
+                            "done, shards, traces, ETA), fed by worker "
+                            "heartbeats")
+    study.add_argument("--events-out", type=Path, default=None,
+                       metavar="FILE",
+                       help="append flight-recorder events (study/"
+                            "shard/cycle lifecycle, JSONL) to FILE; "
+                            "read back with 'repro report'")
+    study.add_argument("--trace-out", type=Path, default=None,
+                       metavar="FILE",
+                       help="write the span tree (parent and worker) "
+                            "as Chrome trace-event JSON, loadable in "
+                            "Perfetto")
+
+    report = sub.add_parser(
+        "report", help="reconstruct a study from flight-recorder files")
+    report.add_argument("events", type=Path,
+                        help="events JSONL written by --events-out")
+    report.add_argument("--trace", type=Path, default=None,
+                        metavar="FILE",
+                        help="Chrome trace JSON written by --trace-out "
+                             "(adds per-stage times + slowest cycles)")
+    report.add_argument("--top", type=int, default=5, metavar="N",
+                        help="how many slowest cycles to list")
     return parser
 
 
@@ -269,7 +307,8 @@ def cmd_audit(args) -> int:
 
 
 def cmd_study(args) -> int:
-    if args.profile:
+    timed = args.profile or args.progress or args.trace_out is not None
+    if timed:
         # Opt into real timing: swap the NullClock tracer for a
         # monotonic one (results stay deterministic — only the span
         # durations read the clock, never the pipeline).
@@ -282,15 +321,47 @@ def cmd_study(args) -> int:
         print(f"--max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 2
-    study = run_longitudinal_study(scale=args.scale, seed=args.seed,
-                                   cycles=args.cycles,
-                                   workers=args.workers,
-                                   checkpoint_dir=args.checkpoint_dir,
-                                   max_retries=args.max_retries)
+    bus = None
+    if args.events_out is not None:
+        # The events file gets wall timestamps only when the run
+        # already opted into timing; a bare --events-out stays on the
+        # NullClock and the file is deterministic (DESIGN §6).
+        bus = EventBus(clock=MonotonicClock() if timed else None,
+                       sink=args.events_out)
+        set_event_bus(bus)
+    printer = ProgressPrinter() if args.progress else None
+    progress = ((lambda tracker: printer.update(tracker))
+                if printer is not None else None)
+    try:
+        study = run_longitudinal_study(
+            scale=args.scale, seed=args.seed,
+            cycles=args.cycles,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            max_retries=args.max_retries,
+            progress=progress)
+    finally:
+        if printer is not None:
+            printer.finish()
+        if bus is not None:
+            bus.close()
     for artifact in args.artifacts:
         print(f"\n{regenerate(study, artifact)}")
     if args.profile:
         print(f"\n{_profile_table(get_tracer())}")
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        print(flight_report(args.events, trace_path=args.trace,
+                            top=args.top))
+    except (OSError, ValueError) as error:
+        print(f"cannot build report: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -311,6 +382,7 @@ _COMMANDS = {
     "classify": cmd_classify,
     "audit": cmd_audit,
     "study": cmd_study,
+    "report": cmd_report,
 }
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..net.ip2as import Ip2AsMapper
-from ..obs import get_logger, get_registry, span
+from ..obs import emit, get_logger, get_registry, span
 from ..traces import Trace
 from .classification import ClassificationResult, classify
 from .extraction import extract_all, traces_with_tunnels
@@ -157,6 +157,8 @@ class LprPipeline:
                   traces=stats.trace_count,
                   extracted=filter_stats.extracted,
                   iotps=len(iotps))
+        emit("cycle.done", cycle=cycle, traces=stats.trace_count,
+             extracted=filter_stats.extracted, iotps=len(iotps))
         return CycleResult(
             cycle=cycle,
             stats=stats,

@@ -10,10 +10,17 @@ classification) against the process-wide singletons exposed here:
   reads the wall clock unless a caller opts into profiling
   (DESIGN §6 determinism contract);
 * :data:`REGISTRY` / :func:`get_registry` — counters, gauges and
-  histograms, all derived deterministically from the data.
+  histograms, all derived deterministically from the data;
+* :func:`emit` / :func:`get_event_bus` — the study flight recorder
+  (:mod:`repro.obs.events`): an append-only event bus with logical
+  sequence numbers always and wall timestamps only under a real
+  :class:`Clock`;
+* :class:`ProgressTracker` (:mod:`repro.obs.progress`) — live campaign
+  progress aggregated from worker heartbeats, with ETA.
 
 Exporters (:mod:`repro.obs.export`) render registry snapshots as JSON
-or Prometheus text.
+or Prometheus text, and span trees as Chrome trace-event JSON
+(Perfetto-loadable).
 """
 
 from .log import (
@@ -47,9 +54,21 @@ from .trace import (
 from .export import (
     registry_to_json,
     snapshot_to_json,
+    to_chrome_trace,
     to_prometheus,
+    write_chrome_trace,
     write_metrics_json,
 )
+from .events import (
+    Event,
+    EventBus,
+    emit,
+    event_from_dict,
+    get_event_bus,
+    read_events,
+    set_event_bus,
+)
+from .progress import ProgressPrinter, ProgressTracker
 
 __all__ = [
     "JsonFormatter",
@@ -76,6 +95,17 @@ __all__ = [
     "traced",
     "registry_to_json",
     "snapshot_to_json",
+    "to_chrome_trace",
     "to_prometheus",
+    "write_chrome_trace",
     "write_metrics_json",
+    "Event",
+    "EventBus",
+    "emit",
+    "event_from_dict",
+    "get_event_bus",
+    "read_events",
+    "set_event_bus",
+    "ProgressPrinter",
+    "ProgressTracker",
 ]

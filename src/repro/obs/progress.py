@@ -1,0 +1,197 @@
+"""Live study progress: heartbeat aggregation, ETA, one-line rendering.
+
+A sharded study is a black box without this: workers probe for minutes
+before their shard returns.  :class:`ProgressTracker` aggregates the
+per-shard heartbeats the workers push over the runner's progress queue
+(cycles done, pair blocks done, traces simulated) into campaign-level
+totals, and derives an ETA from the completed-work rate.
+
+The displayed work counter is **monotonically non-decreasing**: stale
+or duplicate heartbeats are folded with ``max``, and when a failed
+shard is abandoned for retry its partial progress stays on the high
+water mark (the work is redone, but a progress line must never move
+backwards).
+
+Wall-clock use is opt-in, as everywhere in :mod:`repro.obs`: the
+tracker only computes elapsed time / ETA when built with a real
+:class:`~repro.obs.trace.Clock` (the CLI's ``--progress`` passes a
+:class:`~repro.obs.trace.MonotonicClock`; tests pass a
+:class:`~repro.obs.trace.FakeClock`).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, IO, Optional
+
+from .trace import Clock, NullClock
+
+
+@dataclass
+class ShardProgress:
+    """Aggregated heartbeat state of one shard."""
+
+    shard_id: int
+    work: float
+    """Cycle-units this shard covers (len(cycles), or 1/count for an
+    intra-cycle pair block)."""
+    is_block: bool = False
+    work_done: float = 0.0
+    traces: int = 0
+    done: bool = False
+    abandoned: bool = False
+
+
+class ProgressTracker:
+    """Campaign-level progress derived from per-shard heartbeats."""
+
+    def __init__(self, total_cycles: int, clock: Optional[Clock] = None):
+        self.total_cycles = total_cycles
+        self.clock = clock or NullClock()
+        self.shards: Dict[int, ShardProgress] = {}
+        self._start = self.clock.now()
+        self._high_water = 0.0
+
+    # -- shard registry ------------------------------------------------------
+
+    def add_shard(self, shard_id: int, work: float,
+                  is_block: bool = False,
+                  done: bool = False) -> None:
+        """Register one shard's share of the campaign.
+
+        ``work`` is in cycle units; ``done=True`` registers an
+        already-finished shard (e.g. restored from a checkpoint).
+        """
+        progress = ShardProgress(shard_id=shard_id, work=work,
+                                 is_block=is_block)
+        self.shards[shard_id] = progress
+        if done:
+            self.shard_done(shard_id)
+
+    def abandon_shard(self, shard_id: int) -> None:
+        """Mark a failed shard: its work will be redone elsewhere."""
+        progress = self.shards.get(shard_id)
+        if progress is not None and not progress.done:
+            progress.abandoned = True
+
+    # -- updates -------------------------------------------------------------
+
+    def heartbeat(self, shard_id: int, cycles_done: float = 0,
+                  blocks_done: int = 0, traces: int = 0) -> None:
+        """Fold one worker heartbeat in (monotonic per shard)."""
+        progress = self.shards.get(shard_id)
+        if progress is None:
+            return
+        work = float(cycles_done) + blocks_done * (
+            progress.work if progress.is_block else 0.0)
+        progress.work_done = min(progress.work,
+                                 max(progress.work_done, work))
+        progress.traces = max(progress.traces, traces)
+        self._advance()
+
+    def shard_done(self, shard_id: int) -> None:
+        progress = self.shards.get(shard_id)
+        if progress is None:
+            return
+        progress.done = True
+        progress.abandoned = False
+        progress.work_done = progress.work
+        self._advance()
+
+    def _advance(self) -> None:
+        live = sum(p.work_done for p in self.shards.values()
+                   if not p.abandoned)
+        self._high_water = max(self._high_water, live)
+
+    # -- derived totals ------------------------------------------------------
+
+    @property
+    def work_done(self) -> float:
+        """Completed cycle-units (high-water, never decreases)."""
+        return min(float(self.total_cycles), self._high_water)
+
+    @property
+    def traces(self) -> int:
+        return sum(p.traces for p in self.shards.values())
+
+    @property
+    def shards_done(self) -> int:
+        return sum(1 for p in self.shards.values() if p.done)
+
+    @property
+    def shards_total(self) -> int:
+        return sum(1 for p in self.shards.values() if not p.abandoned)
+
+    @property
+    def fraction(self) -> float:
+        if self.total_cycles <= 0:
+            return 1.0
+        return self.work_done / self.total_cycles
+
+    def elapsed(self) -> float:
+        return self.clock.now() - self._start
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining seconds from the completed-work rate, or None.
+
+        None until any work completed, or under a :class:`NullClock`
+        (no elapsed time to rate against).
+        """
+        elapsed = self.elapsed()
+        if elapsed <= 0 or self.work_done <= 0:
+            return None
+        rate = self.work_done / elapsed
+        return (self.total_cycles - self.work_done) / rate
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """One status line, e.g.
+        ``cycles 12.0/60 (20%) | shards 2/6 | traces 123456 | eta 42s``.
+        """
+        eta = self.eta_seconds()
+        eta_text = _format_seconds(eta) if eta is not None else "--"
+        return (f"cycles {self.work_done:g}/{self.total_cycles} "
+                f"({self.fraction:.0%}) | "
+                f"shards {self.shards_done}/{self.shards_total} | "
+                f"traces {self.traces} | eta {eta_text}")
+
+
+def _format_seconds(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, rest = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressPrinter:
+    """Renders a tracker onto one self-overwriting terminal line.
+
+    The line is padded to the previous render's width so a shrinking
+    status never leaves stale characters behind; :meth:`finish` ends
+    the line (call it before printing anything else).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream or sys.stderr
+        self._last_width = 0
+        self._dirty = False
+
+    def update(self, tracker: ProgressTracker) -> None:
+        line = tracker.render()
+        padded = line.ljust(self._last_width)
+        self.stream.write("\r" + padded)
+        self.stream.flush()
+        self._last_width = len(line)
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

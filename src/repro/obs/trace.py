@@ -106,10 +106,14 @@ class Span:
             yield from child.walk(depth + 1)
 
     def to_dict(self) -> Dict[str, Any]:
-        data: Dict[str, Any] = {
-            "name": self.name,
-            "duration_s": round(self.duration, 9),
-        }
+        data: Dict[str, Any] = {"name": self.name}
+        if self.end is None:
+            # Explicitly flagged rather than silently serialized as a
+            # zero-duration span (the dict consumer must not mistake an
+            # interrupted stage for an instantaneous one).
+            data["open"] = True
+        else:
+            data["duration_s"] = round(self.duration, 9)
         if self.attrs:
             data["attrs"] = dict(self.attrs)
         if self.children:
@@ -152,7 +156,10 @@ class Tracer:
             yield node
         finally:
             node.end = self.clock.now()
-            self._stack.pop()
+            # A reset() between open and close empties the stack; the
+            # orphaned span just closes without popping anything.
+            if self._stack and self._stack[-1] is node:
+                self._stack.pop()
 
     def traced(self, name: str, **attrs: Any) -> Callable:
         """Decorator form of :meth:`span`."""
@@ -170,8 +177,30 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def reset(self) -> None:
-        """Drop every recorded span (open spans stay on the stack)."""
+        """Drop every recorded span, including any still open.
+
+        The stack is cleared too: spans opened before the reset become
+        orphans whose exits are no-ops, instead of silently appending
+        children into a discarded tree.
+        """
         self.roots = []
+        self._stack = []
+
+    def graft(self, roots: Sequence[Span], **attrs: Any) -> None:
+        """Attach foreign span trees under the currently active span.
+
+        This is how a parallel study accounts for time spent *inside*
+        workers: each shard returns its tracer roots, and the parent
+        grafts them — tagged with ``attrs`` (e.g. ``shard=3``) merged
+        into each root's attributes — as children of the innermost open
+        span (new roots when none is open).
+        """
+        target = (self._stack[-1].children if self._stack
+                  else self.roots)
+        for root in roots:
+            if attrs:
+                root.attrs.update(attrs)
+            target.append(root)
 
     def totals(self) -> List[SpanTotals]:
         """Per-name aggregates in first-seen (tree) order."""

@@ -41,13 +41,16 @@ from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Optional, Tuple
 
-from ..obs import get_logger, get_registry
+from ..obs import emit, get_logger, get_registry
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 """Bumped whenever the on-disk payload shape changes; old files are
 then rejected (reason ``version``) instead of mis-read.  Version 2:
 pair-block results (raw snapshots + block key) and layout-dependent
-counter stripping."""
+counter stripping.  Version 3: ``ShardResult`` grew a ``spans`` field
+(worker trace trees) — stripped on save, since span timing is per-run
+observability, not a campaign result, and its presence would make
+profiled and unprofiled checkpoints diverge."""
 
 LAYOUT_DEPENDENT_PREFIXES = (
     "route_cache_", "hop_cache_", "quoted_stack_cache_")
@@ -122,6 +125,7 @@ class CheckpointStore:
                 payload = pickle.load(stream)
         except FileNotFoundError:
             _MISSES.inc()
+            emit("checkpoint.miss", path=path.name)
             return None
         except Exception as error:  # garbage pickles fail arbitrarily
             self._reject(path, "corrupt", error)
@@ -144,6 +148,8 @@ class CheckpointStore:
         _HITS.inc()
         _log.info("checkpoint.hit", path=str(path),
                   cycles=len(result.results))
+        emit("checkpoint.hit", path=path.name,
+             cycles=len(result.results))
         return result
 
     def _reject(self, path: Path, reason: str, error=None) -> None:
@@ -151,6 +157,7 @@ class CheckpointStore:
         _log.warning("checkpoint.rejected", path=str(path),
                      reason=reason,
                      **({"error": str(error)} if error else {}))
+        emit("checkpoint.rejected", path=path.name, reason=reason)
         return None
 
     def save(self, result) -> Path:
@@ -171,8 +178,11 @@ class CheckpointStore:
         payload = {
             "version": CHECKPOINT_VERSION,
             "spec_hash": self.spec_hash,
-            "result": replace(result, metrics_delta=strip_layout_dependent(
-                result.metrics_delta)),
+            "result": replace(
+                result,
+                metrics_delta=strip_layout_dependent(
+                    result.metrics_delta),
+                spans=None),
         }
         handle, tmp = tempfile.mkstemp(dir=self.directory,
                                        prefix=path.name, suffix=".tmp")
@@ -190,4 +200,6 @@ class CheckpointStore:
         _WRITES.inc()
         _log.info("checkpoint.written", path=str(path),
                   cycles=len(result.results))
+        emit("checkpoint.write", path=path.name,
+             cycles=len(result.results))
         return path

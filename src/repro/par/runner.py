@@ -41,19 +41,49 @@ The runner is **fault tolerant** (DESIGN §8):
   function of ``(spec, cycle range, pair range)``, a retried,
   subdivided or resumed run stays byte-identical to an uninterrupted
   serial one.
+
+The runner is also the **flight recorder's** main instrument
+(DESIGN §9): it emits study/shard/cycle lifecycle events to the
+:mod:`repro.obs.events` bus, streams worker heartbeats (cycles done,
+pair blocks done, traces simulated) over a progress queue into a live
+:class:`~repro.obs.progress.ProgressTracker`, persists each cycle's
+metrics delta as a ``cycle.metrics`` event, and — when the caller
+profiles — grafts every worker's span tree under the study root so
+``--profile`` and ``--trace-out`` account for time spent *inside*
+workers.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.pipeline import CycleResult, LprPipeline
-from ..obs import get_logger, get_registry, span
+from ..obs import (
+    Clock,
+    EventBus,
+    MonotonicClock,
+    NullClock,
+    ProgressTracker,
+    Span,
+    Tracer,
+    emit,
+    get_logger,
+    get_registry,
+    get_tracer,
+    set_event_bus,
+    set_tracer,
+    span,
+)
 from ..sim import ArkSimulator
 from ..sim.ark import CycleData
 from ..sim.scenarios import CYCLES, paper_scenario
@@ -134,6 +164,10 @@ class ShardResult:
     replayed_cycles: int
     block: Optional[Tuple[int, int, int]] = None
     snapshots: Optional[List[list]] = None
+    spans: Optional[List[Span]] = None
+    """The worker's tracer roots, returned only on profiled runs and
+    grafted under the parent's study span (stripped from checkpoints —
+    timing is per-run observability, not a campaign result)."""
 
 
 @dataclass
@@ -148,37 +182,69 @@ class StudyRun:
     cycle-range results and raw pair blocks, in (cycle, pair) order."""
 
 
+def _beat(beats, shard: Shard, **fields: Any) -> None:
+    """Push one heartbeat; a dying progress channel never fails work."""
+    if beats is None:
+        return
+    try:
+        beats.put({"shard": shard.shard_id, **fields})
+    except Exception:
+        pass
+
+
 def _run_shard(
-    args: Tuple[StudySpec, Shard, int, Optional[ShardFault]]
+    args: Tuple[StudySpec, Shard, int, Optional[ShardFault], bool, Any]
 ) -> ShardResult:
-    """Worker entry: reconstruct state, run the shard's work locally."""
-    spec, shard, attempt, fault = args
+    """Worker entry: reconstruct state, run the shard's work locally.
+
+    The worker installs a *fresh* event bus (a forked sink file
+    descriptor must never be written from two processes) and a fresh
+    tracer — monotonic when the parent profiles, so the returned
+    ``par.worker`` span tree carries real durations the parent grafts
+    into its own trace.  ``beats`` (a manager queue or None) receives
+    one heartbeat per finished cycle / pair block.
+    """
+    spec, shard, attempt, fault, profile, beats = args
+    set_event_bus(EventBus())
+    tracer = set_tracer(Tracer(MonotonicClock() if profile
+                               else NullClock()))
     simulator, pipeline = build_study(spec)
     registry = get_registry()
     before = registry.snapshot()
-    simulator.fast_forward(1, shard.first - 1)
-    if shard.block is not None:
-        if fault is not None:
-            fault.maybe_fire(attempt, 0)
-        data = simulator.run_cycle(shard.first, pair_block=shard.block)
-        return ShardResult(
-            shard_id=shard.shard_id,
-            results=[],
-            metrics_delta=registry.diff(before, registry.snapshot()),
-            replayed_cycles=shard.first - 1,
-            block=(shard.first,) + shard.block,
-            snapshots=data.snapshots,
-        )
+    sim_traces = registry.counter("sim_traces_total")
+    traces_start = sim_traces.value()
+    block_attrs = ({"block": f"{shard.block[0]}/{shard.block[1]}"}
+                   if shard.block is not None else {})
     results: List[CycleResult] = []
-    for index, cycle in enumerate(shard.cycles):
-        if fault is not None:
-            fault.maybe_fire(attempt, index)
-        results.append(pipeline.process_cycle(simulator.run_cycle(cycle)))
+    snapshots: Optional[List[list]] = None
+    with tracer.span("par.worker", first=shard.first, last=shard.last,
+                     **block_attrs):
+        simulator.fast_forward(1, shard.first - 1)
+        if shard.block is not None:
+            if fault is not None:
+                fault.maybe_fire(attempt, 0)
+            data = simulator.run_cycle(shard.first,
+                                       pair_block=shard.block)
+            snapshots = data.snapshots
+            _beat(beats, shard, blocks_done=1,
+                  traces=sim_traces.value() - traces_start)
+        else:
+            for index, cycle in enumerate(shard.cycles):
+                if fault is not None:
+                    fault.maybe_fire(attempt, index)
+                results.append(
+                    pipeline.process_cycle(simulator.run_cycle(cycle)))
+                _beat(beats, shard, cycles_done=index + 1,
+                      traces=sim_traces.value() - traces_start)
     return ShardResult(
         shard_id=shard.shard_id,
         results=results,
         metrics_delta=registry.diff(before, registry.snapshot()),
         replayed_cycles=shard.first - 1,
+        block=((shard.first,) + shard.block
+               if shard.block is not None else None),
+        snapshots=snapshots,
+        spans=tracer.roots if profile else None,
     )
 
 
@@ -198,7 +264,10 @@ def run_study(spec: StudySpec, workers: int = 1, *,
               subdivide: bool = True,
               checkpoint_dir=None,
               fault_plan: Optional[FaultPlan] = None,
-              sleep: Callable[[float], None] = time.sleep) -> StudyRun:
+              sleep: Callable[[float], None] = time.sleep,
+              progress: Optional[Callable[[ProgressTracker],
+                                          None]] = None,
+              progress_clock: Optional[Clock] = None) -> StudyRun:
     """Execute a campaign, sharded over ``workers`` processes.
 
     Results come back ordered by cycle whatever the pool's scheduling,
@@ -224,149 +293,280 @@ def run_study(spec: StudySpec, workers: int = 1, *,
     a serial run uses, so serial checkpoints seed parallel resumes and
     vice versa.  ``fault_plan`` is the test-only injection hook
     (:mod:`repro.par.faults`); production runs leave it None.
+
+    Telemetry (DESIGN §9): lifecycle events (``study.start``,
+    ``shard.dispatch``/``done``/``retry``/``restored``,
+    ``cycle.metrics`` with each cycle's registry delta, ``study.done``)
+    go to the current :mod:`repro.obs.events` bus.  ``progress`` is an
+    optional callback invoked with a live
+    :class:`~repro.obs.progress.ProgressTracker` on every heartbeat and
+    shard completion — passing it opens a worker→parent progress queue
+    and (unless ``progress_clock`` injects a fake) reads the wall clock
+    for ETA, an explicit observability opt-in.  When the caller's
+    global tracer has a real clock (``--profile``/``--trace-out``),
+    workers time their own spans and the parent grafts each shard's
+    tree under the study span, tagged ``shard=<id>``.
     """
     if max_retries < 0:
         raise ValueError(f"negative max_retries: {max_retries}")
     store = (CheckpointStore(checkpoint_dir, spec)
              if checkpoint_dir is not None else None)
+    emit("study.start", cycles=spec.cycles, workers=workers)
     if workers <= 1:
-        return _run_serial(spec, store, fault_plan)
+        run = _run_serial(spec, store, fault_plan, progress=progress,
+                          progress_clock=progress_clock)
+        emit("study.done", cycles=len(run.results), shards=0)
+        return run
 
+    # Workers inherit profiling from the parent's tracer clock: a real
+    # clock means span durations are wanted, so shards time themselves
+    # and return their trees for grafting.
+    profile = not isinstance(get_tracer().clock, NullClock)
     shards = plan_shards(1, spec.cycles, workers)
+    emit("study.plan", shards=len(shards), workers=workers)
+    tracker: Optional[ProgressTracker] = None
+    manager = None
+    beats = None
+    if progress is not None:
+        tracker = ProgressTracker(spec.cycles,
+                                  clock=progress_clock
+                                  or MonotonicClock())
+        manager = _pool_context().Manager()
+        beats = manager.Queue()
+
+    def _notify() -> None:
+        if progress is not None and tracker is not None:
+            progress(tracker)
+
+    def _register(shard: Shard, done: bool = False) -> None:
+        if tracker is None:
+            return
+        work = (1.0 / shard.block[1] if shard.block is not None
+                else float(len(shard)))
+        tracker.add_shard(shard.shard_id, work,
+                          is_block=shard.block is not None, done=done)
+
+    def _on_beat(beat: Dict[str, Any]) -> None:
+        if tracker is not None:
+            tracker.heartbeat(beat.get("shard", -1),
+                              cycles_done=beat.get("cycles_done", 0),
+                              blocks_done=beat.get("blocks_done", 0),
+                              traces=beat.get("traces", 0))
+        emit("shard.heartbeat", **beat)
+        _notify()
+
     _log.info("par.study.start", cycles=spec.cycles, workers=workers,
               shards=len(shards))
-    with span("par.study", cycles=spec.cycles, shards=len(shards)):
-        # completed: full cycle-range ShardResults (executed or restored
-        # at cycle granularity); blocks: raw pair blocks per cycle.
-        completed: List[ShardResult] = []
-        blocks: Dict[int, List[ShardResult]] = {}
-        pending: List[Shard] = []
-        attempts: Dict[Shard, int] = {}
-        next_id = len(shards)
-        cycle_restored: set = set()
-        for shard in shards:
-            if shard.block is None:
-                cached = (store.load(shard.first, shard.last)
+    try:
+        with span("par.study", cycles=spec.cycles, shards=len(shards)):
+            # completed: full cycle-range ShardResults (executed or
+            # restored at cycle granularity); blocks: raw pair blocks
+            # per cycle.
+            completed: List[ShardResult] = []
+            blocks: Dict[int, List[ShardResult]] = {}
+            pending: List[Shard] = []
+            attempts: Dict[Shard, int] = {}
+            next_id = len(shards)
+            cycle_restored: set = set()
+            for shard in shards:
+                if shard.block is None:
+                    cached = (store.load(shard.first, shard.last)
+                              if store is not None else None)
+                    if cached is not None:
+                        completed.append(cached)
+                        _register(shard, done=True)
+                        emit("shard.restored", shard=shard.shard_id,
+                             first=shard.first, last=shard.last)
+                    else:
+                        pending.append(shard)
+                        attempts[shard] = 0
+                        _register(shard)
+                    continue
+                # Intra-cycle shard: prefer a whole-cycle checkpoint
+                # (same key a serial run writes), then this block's own
+                # file.
+                cycle = shard.first
+                if cycle in cycle_restored:
+                    _register(shard, done=True)
+                    continue
+                if store is not None and shard.block[0] == 0:
+                    cached = store.load(cycle, cycle)
+                    if cached is not None:
+                        completed.append(cached)
+                        cycle_restored.add(cycle)
+                        _register(shard, done=True)
+                        emit("shard.restored", shard=shard.shard_id,
+                             first=cycle, last=cycle)
+                        continue
+                cached = (store.load(cycle, cycle, shard.block)
                           if store is not None else None)
                 if cached is not None:
-                    completed.append(cached)
+                    blocks.setdefault(cycle, []).append(cached)
+                    _register(shard, done=True)
+                    emit("shard.restored", shard=shard.shard_id,
+                         first=cycle, last=cycle,
+                         block=list(shard.block))
                 else:
                     pending.append(shard)
                     attempts[shard] = 0
-                continue
-            # Intra-cycle shard: prefer a whole-cycle checkpoint (same
-            # key a serial run writes), then this block's own file.
-            cycle = shard.first
-            if cycle in cycle_restored:
-                continue
-            if store is not None and shard.block[0] == 0:
-                cached = store.load(cycle, cycle)
-                if cached is not None:
-                    completed.append(cached)
-                    cycle_restored.add(cycle)
-                    continue
-            cached = (store.load(cycle, cycle, shard.block)
-                      if store is not None else None)
-            if cached is not None:
-                blocks.setdefault(cycle, []).append(cached)
-            else:
-                pending.append(shard)
-                attempts[shard] = 0
+                    _register(shard)
+            _notify()
 
-        round_index = 0
-        while pending:
-            if round_index > 0:
-                delay = backoff_base * (2 ** (round_index - 1))
-                if delay > 0:
-                    sleep(delay)
-            executed, failed = _dispatch(spec, pending, workers,
-                                         attempts, fault_plan)
-            for result in executed:
-                _SHARDS_RUN.inc()
-                if result.block is not None:
-                    _PAIR_BLOCKS.inc(shard=result.shard_id)
-                else:
-                    _SHARD_CYCLES.inc(len(result.results),
-                                      shard=result.shard_id)
-                _CYCLES_REPLAYED.inc(result.replayed_cycles)
-                if store is not None:
-                    store.save(result)
-                if result.block is not None:
-                    blocks.setdefault(result.block[0],
-                                      []).append(result)
-                else:
-                    completed.append(result)
-            retry: List[Shard] = []
-            for shard, error in failed:
-                attempt = attempts.pop(shard)
-                if attempt >= max_retries:
-                    _SHARDS_FAILED.inc()
-                    raise StudyFailure(
-                        f"shard of cycles {shard.first}-{shard.last} "
-                        f"failed after {attempt + 1} attempts: {error}"
-                    ) from error
-                _SHARD_RETRIES.inc(shard=shard.shard_id)
-                _log.warning("par.shard.retry", shard=shard.shard_id,
+            round_index = 0
+            while pending:
+                if round_index > 0:
+                    delay = backoff_base * (2 ** (round_index - 1))
+                    if delay > 0:
+                        sleep(delay)
+                executed, failed = _dispatch(spec, pending, workers,
+                                             attempts, fault_plan,
+                                             profile, beats, _on_beat)
+                for result in executed:
+                    _SHARDS_RUN.inc()
+                    if result.block is not None:
+                        _PAIR_BLOCKS.inc(shard=result.shard_id)
+                    else:
+                        _SHARD_CYCLES.inc(len(result.results),
+                                          shard=result.shard_id)
+                    _CYCLES_REPLAYED.inc(result.replayed_cycles)
+                    if store is not None:
+                        store.save(result)
+                    if result.block is not None:
+                        blocks.setdefault(result.block[0],
+                                          []).append(result)
+                    else:
+                        completed.append(result)
+                    if tracker is not None:
+                        tracker.shard_done(result.shard_id)
+                        _notify()
+                    emit("shard.done", shard=result.shard_id,
+                         cycles=len(result.results),
+                         traces=_delta_total(result.metrics_delta,
+                                             "sim_traces_total"),
+                         cache_hits=_cache_total(result.metrics_delta,
+                                                 "hits"),
+                         cache_misses=_cache_total(
+                             result.metrics_delta, "misses"),
+                         **({"block": list(result.block)}
+                            if result.block is not None else {}))
+                retry: List[Shard] = []
+                for shard, error in failed:
+                    attempt = attempts.pop(shard)
+                    if attempt >= max_retries:
+                        _SHARDS_FAILED.inc()
+                        emit("shard.failed", shard=shard.shard_id,
                              first=shard.first, last=shard.last,
-                             attempt=attempt + 1, error=str(error))
-                if subdivide and shard.block is not None:
-                    index, count = shard.block
-                    for child_block in ((2 * index, 2 * count),
-                                        (2 * index + 1, 2 * count)):
-                        child = Shard(shard_id=next_id,
-                                      first=shard.first,
-                                      last=shard.last,
-                                      block=child_block)
-                        next_id += 1
-                        attempts[child] = attempt + 1
-                        retry.append(child)
-                elif subdivide and len(shard) > 1:
-                    for half in shard_cycles(shard.first, shard.last, 2):
-                        child = Shard(shard_id=next_id,
-                                      first=half.first, last=half.last)
-                        next_id += 1
-                        attempts[child] = attempt + 1
-                        retry.append(child)
-                else:
-                    attempts[shard] = attempt + 1
-                    retry.append(shard)
-            pending = retry
-            round_index += 1
+                             attempts=attempt + 1, error=str(error))
+                        raise StudyFailure(
+                            f"shard of cycles {shard.first}-"
+                            f"{shard.last} failed after {attempt + 1} "
+                            f"attempts: {error}"
+                        ) from error
+                    _SHARD_RETRIES.inc(shard=shard.shard_id)
+                    _log.warning("par.shard.retry",
+                                 shard=shard.shard_id,
+                                 first=shard.first, last=shard.last,
+                                 attempt=attempt + 1,
+                                 error=str(error))
+                    emit("shard.retry", shard=shard.shard_id,
+                         first=shard.first, last=shard.last,
+                         attempt=attempt + 1, error=str(error))
+                    children: List[Shard] = []
+                    if subdivide and shard.block is not None:
+                        index, count = shard.block
+                        for child_block in ((2 * index, 2 * count),
+                                            (2 * index + 1,
+                                             2 * count)):
+                            children.append(Shard(
+                                shard_id=next_id, first=shard.first,
+                                last=shard.last, block=child_block))
+                            next_id += 1
+                    elif subdivide and len(shard) > 1:
+                        for half in shard_cycles(shard.first,
+                                                 shard.last, 2):
+                            children.append(Shard(
+                                shard_id=next_id, first=half.first,
+                                last=half.last))
+                            next_id += 1
+                    if children:
+                        if tracker is not None:
+                            tracker.abandon_shard(shard.shard_id)
+                        emit("shard.subdivided",
+                             parent=shard.shard_id,
+                             children=[c.shard_id for c in children])
+                        for child in children:
+                            attempts[child] = attempt + 1
+                            _register(child)
+                            retry.append(child)
+                    else:
+                        attempts[shard] = attempt + 1
+                        retry.append(shard)
+                pending = retry
+                round_index += 1
 
-        # Assemble in cycle order: absorb cycle-range deltas as-is;
-        # reassemble pair-block cycles and pipeline them in-process,
-        # exactly where a serial run would.
-        simulator, pipeline = build_study(spec)
-        registry = get_registry()
-        results: List[CycleResult] = []
-        shards_out: List[ShardResult] = []
-        units = [(r.results[0].cycle, r, None) for r in completed]
-        for cycle, cycle_blocks in blocks.items():
-            units.append((cycle, None, cycle_blocks))
-        units.sort(key=lambda unit: unit[0])
-        for cycle, whole, cycle_blocks in units:
-            if whole is not None:
-                registry.absorb(whole.metrics_delta)
-                results.extend(whole.results)
-                shards_out.append(whole)
-                continue
-            assembled, ordered = _assemble_cycle(
-                spec, cycle, cycle_blocks, pipeline, registry)
-            if store is not None:
-                store.save(assembled)
-            results.extend(assembled.results)
-            shards_out.extend(ordered)
+            # Assemble in cycle order: absorb cycle-range deltas
+            # as-is; reassemble pair-block cycles and pipeline them
+            # in-process, exactly where a serial run would.
+            simulator, pipeline = build_study(spec)
+            registry = get_registry()
+            results: List[CycleResult] = []
+            shards_out: List[ShardResult] = []
+            units = [(r.results[0].cycle, r, None) for r in completed]
+            for cycle, cycle_blocks in blocks.items():
+                units.append((cycle, None, cycle_blocks))
+            units.sort(key=lambda unit: unit[0])
+            for cycle, whole, cycle_blocks in units:
+                if whole is not None:
+                    if whole.spans:
+                        get_tracer().graft(whole.spans,
+                                           shard=whole.shard_id)
+                    registry.absorb(whole.metrics_delta)
+                    for result in whole.results:
+                        emit("cycle.metrics", cycle=result.cycle,
+                             metrics=result.metrics)
+                    results.extend(whole.results)
+                    shards_out.append(whole)
+                    continue
+                assembled, ordered = _assemble_cycle(
+                    spec, cycle, cycle_blocks, pipeline, registry)
+                if store is not None:
+                    store.save(assembled)
+                results.extend(assembled.results)
+                shards_out.extend(ordered)
 
-        # The parent simulator never probed, but post-study experiments
-        # (persistence sweeps, ramp campaigns, label dynamics) run extra
-        # cycles on top of the campaign's end state — replay the whole
-        # control-plane evolution so that state matches a serial run.
-        with span("par.fast_forward", cycles=spec.cycles):
-            simulator.fast_forward(1, spec.cycles)
+            # The parent simulator never probed, but post-study
+            # experiments (persistence sweeps, ramp campaigns, label
+            # dynamics) run extra cycles on top of the campaign's end
+            # state — replay the whole control-plane evolution so that
+            # state matches a serial run.
+            with span("par.fast_forward", cycles=spec.cycles):
+                simulator.fast_forward(1, spec.cycles)
+    finally:
+        if manager is not None:
+            manager.shutdown()
     _log.info("par.study.done", cycles=len(results),
               shards=len(shards_out))
+    emit("study.done", cycles=len(results), shards=len(shards_out))
     return StudyRun(simulator=simulator, pipeline=pipeline,
                     results=results, shards=shards_out)
+
+
+def _delta_total(delta: Dict[str, Any], name: str) -> float:
+    """Sum of one metric's values across label sets in a delta."""
+    data = delta.get(name)
+    if not data:
+        return 0
+    return sum(entry["value"] for entry in data["values"])
+
+
+_CACHE_METRICS = ("route_cache", "hop_cache", "quoted_stack_cache")
+
+
+def _cache_total(delta: Dict[str, Any], side: str) -> float:
+    """Combined cache ``hits``/``misses`` across the memoization
+    layers (the per-process counters checkpoints strip)."""
+    return sum(_delta_total(delta, f"{prefix}_{side}_total")
+               for prefix in _CACHE_METRICS)
 
 
 def _assemble_cycle(spec: StudySpec, cycle: int,
@@ -407,6 +607,8 @@ def _assemble_cycle(spec: StudySpec, cycle: int,
         snapshots.append(merged)
     before = registry.snapshot()
     for block in ordered:
+        if block.spans:
+            get_tracer().graft(block.spans, shard=block.shard_id)
         registry.absorb(block.metrics_delta)
     result = pipeline.process_cycle(
         CycleData(cycle=cycle, snapshots=snapshots))
@@ -416,17 +618,44 @@ def _assemble_cycle(spec: StudySpec, cycle: int,
         metrics_delta=registry.diff(before, registry.snapshot()),
         replayed_cycles=0,
     )
+    emit("cycle.assembled", cycle=cycle, blocks=len(ordered))
+    emit("cycle.metrics", cycle=cycle, metrics=result.metrics)
     return assembled, ordered
+
+
+def _drain(beats, on_beat: Callable[[Dict[str, Any]], None]) -> None:
+    """Deliver every queued heartbeat to the parent-side callback."""
+    if beats is None:
+        return
+    while True:
+        try:
+            beat = beats.get_nowait()
+        except queue_module.Empty:
+            return
+        except Exception:
+            # Manager connection torn down mid-run: heartbeats are
+            # best-effort telemetry, never worth failing the study.
+            return
+        on_beat(beat)
 
 
 def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
               attempts: Dict[Shard, int],
-              fault_plan: Optional[FaultPlan]
+              fault_plan: Optional[FaultPlan],
+              profile: bool = False,
+              beats=None,
+              on_beat: Optional[Callable[[Dict[str, Any]],
+                                         None]] = None
               ) -> Tuple[List[ShardResult],
                          List[Tuple[Shard, BaseException]]]:
     """One pool round: run every shard once, sorting survivors from
     casualties.  A broken pool (worker killed) fails every shard that
-    had not finished; the pool itself is rebuilt next round."""
+    had not finished; the pool itself is rebuilt next round.
+
+    With a progress queue, the completion wait runs on a short timeout
+    so heartbeats drain (and the progress line refreshes) while shards
+    are still in flight; without one it blocks until each completion.
+    """
     executed: List[ShardResult] = []
     failed: List[Tuple[Shard, BaseException]] = []
     with ProcessPoolExecutor(max_workers=min(workers, len(shards)),
@@ -435,21 +664,41 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
             pool.submit(
                 _run_shard,
                 (spec, shard, attempts[shard],
-                 fault_plan.for_shard(shard) if fault_plan else None),
+                 fault_plan.for_shard(shard) if fault_plan else None,
+                 profile, beats),
             ): shard
             for shard in shards
         }
-        for future in as_completed(futures):
-            shard = futures[future]
-            try:
-                executed.append(future.result())
-            except Exception as error:  # incl. BrokenProcessPool
-                failed.append((shard, error))
+        for shard in shards:
+            emit("shard.dispatch", shard=shard.shard_id,
+                 first=shard.first, last=shard.last,
+                 attempt=attempts[shard] + 1,
+                 **({"block": list(shard.block)}
+                    if shard.block is not None else {}))
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending,
+                timeout=0.2 if beats is not None else None,
+                return_when=FIRST_COMPLETED)
+            if on_beat is not None:
+                _drain(beats, on_beat)
+            for future in done:
+                shard = futures[future]
+                try:
+                    executed.append(future.result())
+                except Exception as error:  # incl. BrokenProcessPool
+                    failed.append((shard, error))
+        if on_beat is not None:
+            _drain(beats, on_beat)
     return executed, failed
 
 
 def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
-                fault_plan: Optional[FaultPlan]) -> StudyRun:
+                fault_plan: Optional[FaultPlan],
+                progress: Optional[Callable[[ProgressTracker],
+                                            None]] = None,
+                progress_clock: Optional[Clock] = None) -> StudyRun:
     """The in-process loop, with optional per-cycle checkpointing.
 
     Serially each cycle is its own checkpoint unit: a resumed run
@@ -458,9 +707,21 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
     totals and results match an uninterrupted run exactly (modulo the
     stripped cache counters, which only ever count probes actually
     issued by this process).
+
+    A serial run is its own single "shard" on the progress tracker (one
+    heartbeat per finished cycle), and emits the same ``cycle.metrics``
+    events a parallel run does, so ``repro report`` reads both alike.
     """
     simulator, pipeline = build_study(spec)
     registry = get_registry()
+    sim_traces = registry.counter("sim_traces_total")
+    traces_start = sim_traces.value()
+    tracker: Optional[ProgressTracker] = None
+    if progress is not None:
+        tracker = ProgressTracker(spec.cycles,
+                                  clock=progress_clock
+                                  or MonotonicClock())
+        tracker.add_shard(0, float(spec.cycles))
     results: List[CycleResult] = []
     for cycle in range(1, spec.cycles + 1):
         cached = (store.load(cycle, cycle)
@@ -468,22 +729,35 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
         if cached is not None:
             simulator.fast_forward(cycle, cycle)
             registry.absorb(cached.metrics_delta)
+            for result in cached.results:
+                emit("cycle.metrics", cycle=result.cycle,
+                     metrics=result.metrics, restored=True)
             results.extend(cached.results)
-            continue
-        if fault_plan is not None:
-            fault = fault_plan.for_cycle(cycle)
-            if fault is not None:
-                fault.maybe_fire(0, 0)
-        before = registry.snapshot() if store is not None else None
-        result = pipeline.process_cycle(simulator.run_cycle(cycle))
-        results.append(result)
-        if store is not None:
-            store.save(ShardResult(
-                shard_id=cycle - 1,
-                results=[result],
-                metrics_delta=registry.diff(before,
-                                            registry.snapshot()),
-                replayed_cycles=0,
-            ))
+        else:
+            if fault_plan is not None:
+                fault = fault_plan.for_cycle(cycle)
+                if fault is not None:
+                    fault.maybe_fire(0, 0)
+            before = registry.snapshot() if store is not None else None
+            result = pipeline.process_cycle(simulator.run_cycle(cycle))
+            results.append(result)
+            emit("cycle.metrics", cycle=result.cycle,
+                 metrics=result.metrics)
+            if store is not None:
+                store.save(ShardResult(
+                    shard_id=cycle - 1,
+                    results=[result],
+                    metrics_delta=registry.diff(before,
+                                                registry.snapshot()),
+                    replayed_cycles=0,
+                ))
+        if tracker is not None:
+            tracker.heartbeat(
+                0, cycles_done=cycle,
+                traces=sim_traces.value() - traces_start)
+            progress(tracker)
+    if tracker is not None:
+        tracker.shard_done(0)
+        progress(tracker)
     return StudyRun(simulator=simulator, pipeline=pipeline,
                     results=results)

@@ -260,7 +260,7 @@ class DataPlane:
             entry_router = remote_router
         return hops
 
-    def flush_cache_metrics(self) -> None:
+    def flush_cache_metrics(self) -> Dict[str, int]:
         """Publish cache hit/miss deltas to the :mod:`repro.obs` registry.
 
         Deltas since the last flush, so repeated flushes (one per
@@ -269,20 +269,27 @@ class DataPlane:
         same probe stream over differently warmed caches, so the
         checkpoint layer strips them from persisted metrics deltas
         (DESIGN §8) — total probe/trace counters stay layout-invariant.
+
+        Returns this flush's deltas keyed by layer/side (e.g.
+        ``route_hits``) so the traceroute engine can fold them into one
+        ``cache.flush`` flight-recorder event.
         """
         route = self.route_cache
         if route is None:
-            return
+            return {}
         flushed = self._flushed
-        for index, (counter, value) in enumerate((
-                (_ROUTE_HITS, route.hits),
-                (_ROUTE_MISSES, route.misses),
-                (_HOP_HITS, self.hop_cache_hits),
-                (_HOP_MISSES, self.hop_cache_misses))):
+        deltas: Dict[str, int] = {}
+        for index, (name, counter, value) in enumerate((
+                ("route_hits", _ROUTE_HITS, route.hits),
+                ("route_misses", _ROUTE_MISSES, route.misses),
+                ("hop_hits", _HOP_HITS, self.hop_cache_hits),
+                ("hop_misses", _HOP_MISSES, self.hop_cache_misses))):
             delta = value - flushed[index]
             if delta:
                 counter.inc(delta)
+            deltas[name] = delta
             flushed[index] = value
+        return deltas
 
     # -- helpers -------------------------------------------------------------
 

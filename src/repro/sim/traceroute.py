@@ -30,7 +30,7 @@ from typing import List, Optional
 from ..igp.ecmp import flow_hash
 from ..mpls.lse import LabelStack, LabelStackEntry
 from ..net.icmp import TimeExceeded, build_probe_quote
-from ..obs import get_registry, span
+from ..obs import emit, get_registry, span
 from ..traces import StopReason, Trace, TraceHop
 from .dataplane import DataPlane, HopObs, UnreachableError
 from .monitors import Monitor
@@ -127,19 +127,31 @@ class TracerouteEngine:
 
         Deltas since the last flush; like the route/hop counters these
         are per-process observability and are stripped from persisted
-        checkpoint deltas (DESIGN §8).
+        checkpoint deltas (DESIGN §8).  One combined ``cache.flush``
+        event per non-empty flush goes to the flight recorder, with the
+        per-layer deltas plus ``hits``/``misses`` totals — serial runs
+        get their cache trajectory in the events file this way (sharded
+        runs report cache totals in ``shard.done`` instead, since
+        worker buses are process-local).
         """
-        self.dataplane.flush_cache_metrics()
-        if self._stack_cache is None:
-            return
-        flushed = self._flushed
-        for index, (counter, value) in enumerate((
-                (_STACK_HITS, self.stack_cache_hits),
-                (_STACK_MISSES, self.stack_cache_misses))):
-            delta = value - flushed[index]
-            if delta:
-                counter.inc(delta)
-            flushed[index] = value
+        deltas = dict(self.dataplane.flush_cache_metrics())
+        if self._stack_cache is not None:
+            flushed = self._flushed
+            for index, (name, counter, value) in enumerate((
+                    ("stack_hits", _STACK_HITS, self.stack_cache_hits),
+                    ("stack_misses", _STACK_MISSES,
+                     self.stack_cache_misses))):
+                delta = value - flushed[index]
+                if delta:
+                    counter.inc(delta)
+                deltas[name] = delta
+                flushed[index] = value
+        hits = sum(value for name, value in deltas.items()
+                   if name.endswith("_hits"))
+        misses = sum(value for name, value in deltas.items()
+                     if name.endswith("_misses"))
+        if hits or misses:
+            emit("cache.flush", hits=hits, misses=misses, **deltas)
 
     # -- internals -----------------------------------------------------------
 

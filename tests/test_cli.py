@@ -152,6 +152,75 @@ class TestObservabilityFlags:
         assert "missing" in capsys.readouterr().err
 
 
+class TestFlightRecorderFlags:
+    def test_parser_accepts_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--progress", "--events-out", "e.jsonl",
+             "--trace-out", "t.json"])
+        assert args.progress is True
+        assert str(args.events_out) == "e.jsonl"
+        assert str(args.trace_out) == "t.json"
+
+    def test_study_writes_all_artifacts(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        trace = tmp_path / "trace.json"
+        code = main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--progress", "--events-out", str(events),
+                     "--trace-out", str(trace)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cycles 1/1 (100%)" in captured.err
+        assert "eta" in captured.err
+        lines = [json.loads(line)
+                 for line in events.read_text().splitlines()]
+        assert lines[0]["kind"] == "study.start"
+        assert lines[-1]["kind"] == "study.done"
+        assert all("ts" in line for line in lines)  # timed run
+        payload = json.loads(trace.read_text())
+        assert any(event["name"] == "study.run"
+                   for event in payload["traceEvents"])
+
+    def test_bare_events_out_is_untimed(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        code = main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--events-out", str(events)])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in events.read_text().splitlines()]
+        assert lines
+        assert all("ts" not in line for line in lines)
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        trace = tmp_path / "trace.json"
+        assert main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--events-out", str(events),
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(events),
+                     "--trace", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "== study ==" in output
+        assert "completed: 1 cycle results" in output
+        assert "== per-stage time (from trace) ==" in output
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot build report" in capsys.readouterr().err
+
+    def test_report_corrupt_trace_fails(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text('{"seq": 1, "kind": "study.start"}\n')
+        trace = tmp_path / "trace.json"
+        trace.write_text('{"not": "a trace"}')
+        assert main(["report", str(events),
+                     "--trace", str(trace)]) == 1
+        assert "cannot build report" in capsys.readouterr().err
+
+
 class TestAudit:
     def test_per_as_report(self, campaign_dir, capsys):
         cycle_dir = campaign_dir / "cycle-30"

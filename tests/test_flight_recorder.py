@@ -1,0 +1,271 @@
+"""End-to-end tests for the study flight recorder (DESIGN §9).
+
+The contracts under test:
+
+* a fully instrumented parallel run (--progress + events sink + real
+  clocks) produces monotonically non-decreasing progress, a Chrome
+  trace whose worker spans sit on shard-labelled tracks, a profile
+  table that accounts for worker stages, and an events file ``repro
+  report`` can reconstruct;
+* all of that telemetry changes nothing about the study's results —
+  the instrumented parallel run stays byte-identical to a bare serial
+  one;
+* the default path (NullClock, no sinks) never reads the wall clock,
+  so a serial run's events are deterministic across invocations.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import _profile_table
+from repro.core.pipeline import run_study
+from repro.obs import (
+    EventBus,
+    FakeClock,
+    MonotonicClock,
+    NullClock,
+    Tracer,
+    get_event_bus,
+    get_tracer,
+    read_events,
+    set_event_bus,
+    set_tracer,
+    write_chrome_trace,
+)
+from repro.analysis.flightreport import flight_report
+from repro.par import CheckpointStore, StudySpec
+from repro.par.checkpoint import CHECKPOINT_VERSION
+from repro.par.runner import ShardResult, _delta_total
+
+SPEC = StudySpec(scale=0.25, seed=7, cycles=4, snapshots_per_cycle=2)
+SPEC2 = StudySpec(scale=0.25, seed=7, cycles=2, snapshots_per_cycle=2)
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    """The plain baseline: no telemetry, default clocks."""
+    return run_study(SPEC, workers=1)
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    """One parallel run with every flight-recorder feature on."""
+    out = tmp_path_factory.mktemp("flightrec")
+    events_path = out / "events.jsonl"
+    trace_path = out / "trace.json"
+    ticks = []
+
+    def on_progress(tracker):
+        ticks.append((tracker.work_done, tracker.shards_done,
+                      tracker.traces, tracker.render()))
+
+    saved_tracer, saved_bus = get_tracer(), get_event_bus()
+    tracer = set_tracer(Tracer(MonotonicClock()))
+    bus = set_event_bus(EventBus(clock=MonotonicClock(),
+                                 sink=events_path))
+    try:
+        run = run_study(SPEC, workers=4, progress=on_progress)
+        write_chrome_trace(trace_path, tracer)
+    finally:
+        bus.close()
+        set_tracer(saved_tracer)
+        set_event_bus(saved_bus)
+    return {"run": run, "tracer": tracer, "ticks": ticks,
+            "events_path": events_path, "trace_path": trace_path}
+
+
+class TestProgress:
+    def test_work_done_is_monotonic(self, telemetry_run):
+        done = [tick[0] for tick in telemetry_run["ticks"]]
+        assert done == sorted(done)
+        assert done[-1] == SPEC.cycles
+
+    def test_traces_are_monotonic(self, telemetry_run):
+        traces = [tick[2] for tick in telemetry_run["ticks"]]
+        assert traces == sorted(traces)
+        assert traces[-1] > 0
+
+    def test_all_shards_finish(self, telemetry_run):
+        _done, shards_done, _traces, line = telemetry_run["ticks"][-1]
+        assert shards_done == 4
+        assert "(100%)" in line
+
+    def test_heartbeats_arrived_mid_flight(self, telemetry_run):
+        # More callback ticks than shards: the in-flight heartbeats
+        # (one per worker cycle) were delivered, not just completions.
+        assert len(telemetry_run["ticks"]) > 4
+
+    def test_fake_progress_clock_reads_no_wall_clock(self):
+        clock = FakeClock()
+        etas = []
+
+        def on_progress(tracker):
+            assert tracker.clock is clock
+            clock.advance(1.0)
+            etas.append(tracker.eta_seconds())
+
+        run = run_study(SPEC2, workers=1, progress=on_progress,
+                        progress_clock=clock)
+        assert len(run.results) == SPEC2.cycles
+        assert len(etas) == SPEC2.cycles + 1  # per cycle + final
+        assert etas[-1] == 0.0
+
+
+class TestWorkerSpans:
+    def test_worker_trees_grafted_under_study_span(self, telemetry_run):
+        tracer = telemetry_run["tracer"]
+        study = next(root for root in tracer.roots
+                     if root.name == "par.study")
+        workers = [child for child in study.children
+                   if child.name == "par.worker"]
+        assert len(workers) == 4
+        assert sorted(w.attrs["shard"] for w in workers) == [0, 1, 2, 3]
+        # Worker time is real: a probing shard takes nonzero wall time.
+        assert all(w.duration > 0 for w in workers)
+
+    def test_worker_stages_appear_in_profile_table(self, telemetry_run):
+        table = _profile_table(telemetry_run["tracer"])
+        for stage in ("par.worker", "sim.cycle", "pipeline.filters",
+                      "classification.classify"):
+            assert stage in table
+
+    def test_chrome_trace_has_shard_tracks(self, telemetry_run):
+        payload = json.loads(
+            telemetry_run["trace_path"].read_text())
+        names = {event["tid"]: event["args"]["name"]
+                 for event in payload["traceEvents"]
+                 if event["ph"] == "M"}
+        assert names[0] == "parent"
+        assert {names[tid] for tid in names if tid != 0} == \
+            {"shard 0", "shard 1", "shard 2", "shard 3"}
+        worker_events = [event for event in payload["traceEvents"]
+                        if event["ph"] == "X" and event["tid"] != 0]
+        assert {e["name"] for e in worker_events} >= \
+            {"par.worker", "sim.cycle", "pipeline.cycle"}
+
+
+class TestEventsFile:
+    def test_lifecycle_events_in_order(self, telemetry_run):
+        events = read_events(telemetry_run["events_path"])
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "study.start"
+        assert kinds[-1] == "study.done"
+        assert "study.plan" in kinds
+        assert kinds.count("shard.dispatch") == 4
+        assert kinds.count("shard.done") == 4
+        assert kinds.count("cycle.metrics") == SPEC.cycles
+        assert "shard.heartbeat" in kinds
+
+    def test_seq_strictly_increasing_ts_present(self, telemetry_run):
+        events = read_events(telemetry_run["events_path"])
+        seqs = [event.seq for event in events]
+        assert seqs == list(range(1, len(events) + 1))
+        stamps = [event.ts for event in events]
+        assert all(ts is not None for ts in stamps)
+        assert stamps == sorted(stamps)
+
+    def test_shard_done_traces_reconcile(self, telemetry_run):
+        events = read_events(telemetry_run["events_path"])
+        from_events = sum(e.fields["traces"] for e in events
+                          if e.kind == "shard.done")
+        from_shards = sum(
+            _delta_total(shard.metrics_delta, "sim_traces_total")
+            for shard in telemetry_run["run"].shards
+            if shard.block is None)
+        assert from_events == from_shards > 0
+
+    def test_report_reconstructs_the_run(self, telemetry_run):
+        report = flight_report(telemetry_run["events_path"],
+                               trace_path=telemetry_run["trace_path"])
+        assert "cycles: 4  workers: 4" in report
+        assert "completed: 4 cycle results" in report
+        assert "== shard timeline ==" in report
+        assert report.count("done") >= 4
+        assert "== filter drops per cycle ==" in report
+        assert "== per-stage time (from trace) ==" in report
+        assert "par.worker" in report
+        assert "== slowest cycles" in report
+
+    def test_serial_events_are_deterministic(self):
+        def capture():
+            saved = get_event_bus()
+            bus = set_event_bus(EventBus())
+            try:
+                run_study(SPEC2, workers=1)
+            finally:
+                set_event_bus(saved)
+            return [event.to_dict() for event in bus.events]
+
+        first, second = capture(), capture()
+        assert first == second
+        assert all("ts" not in row for row in first)
+
+
+class TestTelemetryByteIdentity:
+    """Telemetry must observe, never perturb (DESIGN §6)."""
+
+    def test_results_identical_to_bare_serial(self, serial_run,
+                                              telemetry_run):
+        instrumented = telemetry_run["run"]
+        assert len(serial_run.results) == len(instrumented.results)
+        for serial, parallel in zip(serial_run.results,
+                                    instrumented.results):
+            assert serial.stats == parallel.stats
+            assert serial.filter_stats == parallel.filter_stats
+            assert serial.classification.verdicts == \
+                parallel.classification.verdicts
+            assert serial.metrics == parallel.metrics
+
+    def test_simulator_end_state_identical(self, serial_run,
+                                           telemetry_run):
+        serial_sim = serial_run.simulator
+        parallel_sim = telemetry_run["run"].simulator
+        assert _label_state(serial_sim.internet) == \
+            _label_state(parallel_sim.internet)
+
+
+def _label_state(internet):
+    """Label-allocator positions — a cheap end-state fingerprint."""
+    state = []
+    for asn in sorted(internet.networks):
+        network = internet.networks[asn]
+        if network.labels is None:
+            state.append((asn, None))
+            continue
+        state.append((asn, tuple(
+            (router, alloc._next, alloc.allocated_total)
+            for router, alloc in
+            sorted(network.labels.allocators.items()))))
+    return state
+
+
+class TestCheckpointSpans:
+    def test_spans_stripped_on_save(self, tmp_path):
+        from repro.obs import Span
+        store = CheckpointStore(tmp_path, SPEC2)
+        run = run_study(SPEC2, workers=1)
+        result = ShardResult(
+            shard_id=0,
+            results=run.results[:1],
+            metrics_delta={},
+            replayed_cycles=0,
+            spans=[Span(name="par.worker", start=0.0, end=1.0)],
+        )
+        store.save(result)
+        loaded = store.load(1, 1)
+        assert loaded is not None
+        assert loaded.spans is None
+
+    def test_version_2_files_rejected(self, tmp_path):
+        import pickle
+        store = CheckpointStore(tmp_path, SPEC2)
+        run = run_study(SPEC2, workers=1)
+        result = ShardResult(shard_id=0, results=run.results[:1],
+                             metrics_delta={}, replayed_cycles=0)
+        path = store.save(result)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["version"] == CHECKPOINT_VERSION == 3
+        payload["version"] = 2
+        path.write_bytes(pickle.dumps(payload))
+        assert store.load(1, 1) is None

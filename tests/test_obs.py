@@ -257,6 +257,82 @@ class TestSnapshots:
         assert 'sizes_count 1' in text
 
 
+class TestPrometheusGolden:
+    """Exact-text exposition checks: escaping, bucket math, spellings."""
+
+    def build(self):
+        registry = MetricsRegistry()
+        weird = registry.counter("weird_total", "odd labels")
+        weird.inc(1, path=r"C:\tmp", note='say "hi"', text="a\nb")
+        gauge = registry.gauge("extremes", "non-finite values")
+        gauge.set(float("inf"), kind="pos")
+        gauge.set(float("-inf"), kind="neg")
+        gauge.set(float("nan"), kind="nan")
+        gauge.set(1e21, kind="huge")
+        hist = registry.histogram("latency", "with odd bounds",
+                                  buckets=(1e-07, 0.5, 1e21))
+        for value in (0.0, 0.25, 0.75, 2.0, 1e22):
+            hist.observe(value)
+        return registry
+
+    def test_golden_exposition(self):
+        expected = "\n".join([
+            "# HELP extremes non-finite values",
+            "# TYPE extremes gauge",
+            'extremes{kind="huge"} 1000000000000000000000',
+            'extremes{kind="nan"} NaN',
+            'extremes{kind="neg"} -Inf',
+            'extremes{kind="pos"} +Inf',
+            "# HELP latency with odd bounds",
+            "# TYPE latency histogram",
+            'latency_bucket{le="0.0000001"} 1',
+            'latency_bucket{le="0.5"} 2',
+            'latency_bucket{le="1000000000000000000000"} 4',
+            'latency_bucket{le="+Inf"} 5',
+            # 1e22 + 3 rounds to 1e22 in float64; what matters here is
+            # the plain-decimal expansion of the e-notation repr.
+            "latency_sum 10000000000000000000000",
+            "latency_count 5",
+            "# HELP weird_total odd labels",
+            "# TYPE weird_total counter",
+            'weird_total{note="say \\"hi\\"",'
+            'path="C:\\\\tmp",text="a\\nb"} 1',
+            "",
+        ])
+        assert to_prometheus(self.build()) == expected
+
+    def test_le_buckets_are_cumulative_monotone(self):
+        text = to_prometheus(self.build())
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("latency_bucket")]
+        assert counts == sorted(counts)
+
+    def test_inf_bucket_equals_count(self):
+        text = to_prometheus(self.build())
+        lines = text.splitlines()
+        (inf_line,) = [l for l in lines if '{le="+Inf"}' in l]
+        (count_line,) = [l for l in lines
+                         if l.startswith("latency_count")]
+        assert inf_line.rsplit(" ", 1)[1] == \
+            count_line.rsplit(" ", 1)[1]
+
+
+class TestFormatNumber:
+    def test_spellings(self):
+        from repro.obs.export import _format_number
+        assert _format_number(float("inf")) == "+Inf"
+        assert _format_number(float("-inf")) == "-Inf"
+        assert _format_number(float("nan")) == "NaN"
+        assert _format_number(2.5) == "2.5"
+        assert _format_number(3.0) == "3"
+        assert _format_number(7) == "7"
+        # repr() e-notation is expanded to plain decimal
+        assert _format_number(1e-07) == "0.0000001"
+        assert _format_number(1e21) == "1000000000000000000000"
+        assert _format_number(2.5e-09) == "0.0000000025"
+
+
 class TestStructuredLogging:
     def test_key_value_line(self, capsys):
         handler = configure_logging(level="info")
