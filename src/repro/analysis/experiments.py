@@ -74,6 +74,8 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            snapshots_per_cycle: int = 3,
                            workers: int = 1,
                            checkpoint_dir=None,
+                           state_dir=None,
+                           snapshot_stride: int = 8,
                            max_retries: int = 2,
                            progress: Optional[Callable] = None,
                            progress_clock=None) -> Study:
@@ -88,6 +90,10 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     makes the campaign restartable (finished shards are persisted and
     replayed instead of re-run) and ``max_retries`` bounds how often a
     crashed shard is re-dispatched before the study aborts.
+    ``state_dir`` adds warm-start control-plane snapshots every
+    ``snapshot_stride`` cycles (:mod:`repro.par.statestore`): workers
+    and resumed runs restore the nearest snapshot instead of replaying
+    every earlier cycle — still byte-identical (DESIGN §10).
     ``progress``/``progress_clock`` pass straight to
     :func:`repro.par.run_study` for live telemetry (DESIGN §9).
     """
@@ -98,6 +104,8 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     with span("study.run", cycles=spec.cycles, workers=workers):
         run = run_study(spec, workers=workers,
                         checkpoint_dir=checkpoint_dir,
+                        state_dir=state_dir,
+                        snapshot_stride=snapshot_stride,
                         max_retries=max_retries,
                         progress=progress,
                         progress_clock=progress_clock)

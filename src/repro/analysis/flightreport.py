@@ -151,6 +151,37 @@ def _cache_section(grouped: Dict[str, List[Event]]) -> List[str]:
             f"hit rate: {hits / total:.1%}"]
 
 
+def _snapshot_section(grouped: Dict[str, List[Event]]) -> List[str]:
+    """Warm-start state-store activity (:mod:`repro.par.statestore`).
+
+    ``snapshot.hit`` events carry how many replay cycles each restore
+    saved; misses mean a cold replay followed, rejects mean a file was
+    unusable (corrupt, foreign spec or version) and the search fell
+    back to an older snapshot.
+    """
+    hits = grouped.get("snapshot.hit", [])
+    misses = grouped.get("snapshot.miss", [])
+    writes = grouped.get("snapshot.write", [])
+    rejected = grouped.get("snapshot.rejected", [])
+    if not (hits or misses or writes or rejected):
+        return []
+    saved = sum(event.fields.get("saved", 0) for event in hits)
+    lines = ["== warm-start state snapshots ==",
+             f"restores: {len(hits)}  cold replays: {len(misses)}  "
+             f"writes: {len(writes)}  rejected: {len(rejected)}"]
+    if hits:
+        lines.append(f"replay cycles saved: {saved:.0f}")
+    if rejected:
+        reasons: Dict[str, int] = {}
+        for event in rejected:
+            reason = event.fields.get("reason", "?")
+            reasons[reason] = reasons.get(reason, 0) + 1
+        lines.append("rejects by reason: " + "  ".join(
+            f"{reason}: {count}"
+            for reason, count in sorted(reasons.items())))
+    return lines
+
+
 _FILTERS = ("incomplete", "intra_as", "target_as",
             "transit_diversity", "persistence")
 
@@ -254,6 +285,7 @@ def flight_report(events_path: Union[str, Path],
         _summary_section(grouped),
         _shard_timeline(grouped),
         _cache_section(grouped),
+        _snapshot_section(grouped),
         _filter_section(grouped),
     ]
     if trace_path is not None:

@@ -137,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist finished shards here; a restarted "
                             "study replays only unfinished cycle "
                             "ranges (keyed by the study spec's hash)")
+    study.add_argument("--state-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="share warm-start control-plane snapshots "
+                            "here: workers and resumed studies restore "
+                            "the nearest snapshot and replay only the "
+                            "tail instead of every earlier cycle "
+                            "(byte-identical output; keyed by the "
+                            "study spec's hash)")
+    study.add_argument("--snapshot-stride", type=int, default=8,
+                       metavar="N",
+                       help="cycles between state snapshots when "
+                            "--state-dir is set (default 8; smaller = "
+                            "shorter tail replay, more disk)")
     study.add_argument("--max-retries", type=int, default=2,
                        metavar="N",
                        help="re-dispatch a crashed shard up to N times "
@@ -321,6 +334,10 @@ def cmd_study(args) -> int:
         print(f"--max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 2
+    if args.snapshot_stride < 1:
+        print(f"--snapshot-stride must be >= 1, "
+              f"got {args.snapshot_stride}", file=sys.stderr)
+        return 2
     bus = None
     if args.events_out is not None:
         # The events file gets wall timestamps only when the run
@@ -338,6 +355,8 @@ def cmd_study(args) -> int:
             cycles=args.cycles,
             workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
+            state_dir=args.state_dir,
+            snapshot_stride=args.snapshot_stride,
             max_retries=args.max_retries,
             progress=progress)
     finally:

@@ -196,7 +196,9 @@ def run_study(spec, workers: int = 1, **options):
 
     Keyword ``options`` pass straight to
     :func:`repro.par.runner.run_study` — fault tolerance knobs such as
-    ``max_retries``, ``checkpoint_dir`` and ``subdivide`` (DESIGN §8).
+    ``max_retries``, ``checkpoint_dir`` and ``subdivide`` (DESIGN §8),
+    and the warm-start state-store knobs ``state_dir`` /
+    ``snapshot_stride`` (DESIGN §10).
     """
     # Imported lazily: repro.par builds on this module and on repro.sim.
     from ..par.runner import run_study as run_sharded

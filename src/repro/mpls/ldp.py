@@ -48,6 +48,21 @@ class LdpEngine:
         """The egress router of an established FEC."""
         return self._established.get(fec)
 
+    def capture_established(self) -> Tuple[Tuple[PrefixFec, int], ...]:
+        """Picklable snapshot of the established-FEC map, in
+        establishment order (FECs are frozen dataclasses)."""
+        return tuple(self._established.items())
+
+    def restore_established(
+            self, state: Tuple[Tuple[PrefixFec, int], ...]) -> None:
+        """Install a :meth:`capture_established` snapshot.
+
+        The labels and LFIB entries the FECs refer to are restored
+        separately through the :class:`LabelManager`; re-establishing a
+        restored FEC is then the same no-op it would be on the
+        original engine."""
+        self._established = dict(state)
+
     def uses_php(self, egress_router: int) -> bool:
         """Whether the egress signals PHP (vendor default)."""
         vendor = self.topology.routers[egress_router].vendor

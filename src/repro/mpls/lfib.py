@@ -15,6 +15,7 @@ label bindings.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Hashable, List, Optional, Tuple
@@ -76,10 +77,95 @@ class LabelAllocator:
         """Return a label to the pool (tunnel teardown)."""
         self._in_use.discard(label)
 
+    def advance(self, count: int) -> None:
+        """Apply ``count`` allocate()/release() pairs in closed form.
+
+        Each pair hands out the next free label and immediately frees
+        it again, so the in-use set is invariant and the only state
+        that moves is ``_next`` (plus the ``allocated_total`` tally).
+        The free labels are visited in cyclic ascending order starting
+        at ``_next``, which makes the walk periodic with period
+        ``m = label_space - len(_in_use)``: after ``count`` pairs the
+        last handed-out label is the k-th free label cyclically above
+        ``_next`` where ``k = (count - 1) % m + 1``, and ``_next``
+        lands one past it (wrapping past ``label_max``).  That label is
+        found by bisection over the sorted in-use set instead of
+        walking, so a million-pair churn tick costs O(u log space)
+        for u labels in use — the equivalence to the literal loop is
+        asserted per vendor profile (including wrap-around) in
+        ``tests/test_statestore.py``.
+        """
+        if count <= 0:
+            return
+        profile = self.profile
+        space = profile.label_space()
+        free = space - len(self._in_use)
+        if free <= 0:
+            raise LabelAllocatorError(
+                f"label space exhausted ({space} labels in use)"
+            )
+        k = (count - 1) % free + 1
+        in_use = sorted(self._in_use)
+        # Free labels split into the high arc [_next, label_max] and
+        # the wrapped low arc [label_min, _next - 1], visited in that
+        # order.
+        label = _kth_free(in_use, self._next, profile.label_max, k)
+        if label is None:
+            high_free = ((profile.label_max - self._next + 1)
+                         - (len(in_use)
+                            - bisect_left(in_use, self._next)))
+            label = _kth_free(in_use, profile.label_min,
+                              self._next - 1, k - high_free)
+        self._next = (profile.label_min if label >= profile.label_max
+                      else label + 1)
+        self.allocated_total += count
+
     @property
     def in_use(self) -> int:
         """Number of labels currently allocated."""
         return len(self._in_use)
+
+    def capture(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """Picklable snapshot: (next, allocated_total, sorted in-use).
+
+        The in-use set is canonicalised to a sorted tuple so equal
+        allocator states always capture to equal bytes (a set's pickle
+        leaks its insertion history).
+        """
+        return (self._next, self.allocated_total,
+                tuple(sorted(self._in_use)))
+
+    def restore(self, state: Tuple[int, int, Tuple[int, ...]]) -> None:
+        """Install a :meth:`capture` snapshot (profile must match)."""
+        self._next, self.allocated_total, in_use = state
+        self._in_use = set(in_use)
+
+
+def _kth_free(in_use: List[int], lo: int, hi: int,
+              k: int) -> Optional[int]:
+    """The k-th label of ``[lo, hi]`` absent from sorted ``in_use``.
+
+    Returns None when the range holds fewer than ``k`` free labels.
+    Binary search on the monotone free-count prefix function, with each
+    probe answered by one bisect into the in-use list.
+    """
+    if lo > hi or k <= 0:
+        return None
+    left = bisect_left(in_use, lo)
+
+    def free_upto(label: int) -> int:
+        return (label - lo + 1) - (bisect_right(in_use, label) - left)
+
+    if free_upto(hi) < k:
+        return None
+    low, high = lo, hi
+    while low < high:
+        mid = (low + high) // 2
+        if free_upto(mid) >= k:
+            high = mid
+        else:
+            low = mid + 1
+    return low
 
 
 def _router_offset(router_id: int) -> int:
@@ -156,6 +242,25 @@ class Lfib:
         """All equal-cost choices for an incoming label (may be empty)."""
         return self.entries.get(in_label, [])
 
+    def capture(self) -> Tuple[Dict[int, Tuple[LfibEntry, ...]],
+                               Dict[Hashable, int]]:
+        """Picklable snapshot of the entries and the FTN map.
+
+        Entries are frozen dataclasses, so tuples of them share safely;
+        dict insertion order (allocation order) is preserved.
+        """
+        return ({label: tuple(choices)
+                 for label, choices in self.entries.items()},
+                dict(self._label_of_fec))
+
+    def restore(self, state: Tuple[Dict[int, Tuple[LfibEntry, ...]],
+                                   Dict[Hashable, int]]) -> None:
+        """Install a :meth:`capture` snapshot."""
+        entries, label_of_fec = state
+        self.entries = {label: list(choices)
+                        for label, choices in entries.items()}
+        self._label_of_fec = dict(label_of_fec)
+
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -206,3 +311,21 @@ class LabelManager:
         label = self.lfibs[router_id].unbind(fec)
         if label is not None:
             self.allocators[router_id].release(label)
+
+    def capture(self) -> Dict[int, Tuple[tuple, tuple]]:
+        """Per-router (allocator, LFIB) snapshots, sorted by router."""
+        return {
+            router_id: (self.allocators[router_id].capture(),
+                        self.lfibs[router_id].capture())
+            for router_id in sorted(self.allocators)
+        }
+
+    def restore(self, state: Dict[int, Tuple[tuple, tuple]]) -> None:
+        """Install :meth:`capture` snapshots onto this manager's
+        routers (the router set must match — same topology)."""
+        if set(state) != set(self.allocators):
+            raise ValueError("label state router set does not match "
+                             "this topology")
+        for router_id, (allocator_state, lfib_state) in state.items():
+            self.allocators[router_id].restore(allocator_state)
+            self.lfibs[router_id].restore(lfib_state)

@@ -149,6 +149,40 @@ class RsvpTeEngine:
             self._release(self._sessions[key])
         self._sessions.clear()
 
+    def capture_sessions(self) -> tuple:
+        """Picklable snapshot of every session, in signalling order.
+
+        Routes are flattened to ``(router id, link id)`` steps — Link
+        objects belong to one Topology instance and must be re-interned
+        on restore so a restored session's route is identical (not just
+        equal) to the restoring process's own topology links.
+        """
+        return tuple(
+            (key, session.fec,
+             tuple((router, link.link_id)
+                   for router, link in session.route),
+             tuple(session.labels.items()))
+            for key, session in self._sessions.items()
+        )
+
+    def restore_sessions(self, state: tuple) -> None:
+        """Install a :meth:`capture_sessions` snapshot.
+
+        Label allocations and LFIB entries are restored separately via
+        the :class:`~repro.mpls.lfib.LabelManager`; this rebuilds the
+        session objects against this engine's topology.
+        """
+        links = self.topology.links
+        self._sessions = {
+            key: TeSession(
+                fec=fec,
+                route=[(router, links[link_id])
+                       for router, link_id in route],
+                labels=dict(labels),
+            )
+            for key, fec, route, labels in state
+        }
+
     # -- internals ---------------------------------------------------------
 
     def _allocate_and_install(self, session: TeSession) -> None:

@@ -103,6 +103,17 @@ class SegmentRoutingEngine:
         """Drop every policy."""
         self._policies.clear()
 
+    def capture_policies(self) -> tuple:
+        """Picklable snapshot of the policy table, in install order
+        (policies are frozen dataclasses of plain ints)."""
+        return tuple((pair, tuple(policies))
+                     for pair, policies in self._policies.items())
+
+    def restore_policies(self, state: tuple) -> None:
+        """Install a :meth:`capture_policies` snapshot."""
+        self._policies = {pair: list(policies)
+                          for pair, policies in state}
+
     @property
     def policy_count(self) -> int:
         """Total installed policies."""

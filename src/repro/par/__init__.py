@@ -27,6 +27,12 @@ checkpointed to disk and replayed on restart
 (:mod:`repro.par.checkpoint`), and :mod:`repro.par.faults` provides the
 test-only hooks that stage worker deaths so the recovery paths stay
 covered (``tests/test_par_faults.py``).
+
+Replay itself is near-O(1) when a **state store** is attached
+(:mod:`repro.par.statestore`): full control-plane snapshots every
+``snapshot_stride`` cycles let workers and resumed runs restore the
+nearest snapshot and replay only the tail, instead of the whole prefix
+— still byte-identical (DESIGN §10).
 """
 
 from .shard import Shard, plan_shards, shard_cycles
@@ -37,6 +43,12 @@ from .checkpoint import (
     strip_layout_dependent,
 )
 from .faults import KILL, RAISE, FaultInjected, FaultPlan, ShardFault
+from .statestore import (
+    DEFAULT_SNAPSHOT_STRIDE,
+    STATE_VERSION,
+    StateStore,
+    state_spec_hash,
+)
 from .runner import (
     ShardResult,
     StudyFailure,
@@ -54,6 +66,10 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointStore",
     "spec_hash",
+    "DEFAULT_SNAPSHOT_STRIDE",
+    "STATE_VERSION",
+    "StateStore",
+    "state_spec_hash",
     "KILL",
     "RAISE",
     "FaultInjected",

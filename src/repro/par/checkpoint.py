@@ -43,19 +43,24 @@ from typing import Optional, Tuple
 
 from ..obs import emit, get_logger, get_registry
 
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
 """Bumped whenever the on-disk payload shape changes; old files are
 then rejected (reason ``version``) instead of mis-read.  Version 2:
 pair-block results (raw snapshots + block key) and layout-dependent
 counter stripping.  Version 3: ``ShardResult`` grew a ``spans`` field
 (worker trace trees) — stripped on save, since span timing is per-run
 observability, not a campaign result, and its presence would make
-profiled and unprofiled checkpoints diverge."""
+profiled and unprofiled checkpoints diverge.  Version 4:
+``replayed_cycles`` is normalised to 0 on save — warm-started workers
+(:mod:`repro.par.statestore`) replay fewer cycles than cold ones, and
+that schedule detail must not leak into checkpoint bytes."""
 
 LAYOUT_DEPENDENT_PREFIXES = (
-    "route_cache_", "hop_cache_", "quoted_stack_cache_")
+    "route_cache_", "hop_cache_", "quoted_stack_cache_",
+    "state_snapshot_")
 """Metric-name prefixes whose values depend on how the probe stream was
-split over caches — stripped from persisted deltas."""
+split over caches — or, for ``state_snapshot_*``, on how warm the
+state store happened to be — stripped from persisted deltas."""
 
 
 def strip_layout_dependent(delta: dict) -> dict:
@@ -182,6 +187,7 @@ class CheckpointStore:
                 result,
                 metrics_delta=strip_layout_dependent(
                     result.metrics_delta),
+                replayed_cycles=0,
                 spans=None),
         }
         handle, tmp = tempfile.mkstemp(dir=self.directory,

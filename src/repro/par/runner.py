@@ -90,6 +90,7 @@ from ..sim.scenarios import CYCLES, paper_scenario
 from .checkpoint import CheckpointStore
 from .faults import FaultPlan, ShardFault
 from .shard import Shard, plan_shards, shard_cycles
+from .statestore import DEFAULT_SNAPSHOT_STRIDE, StateStore
 
 _log = get_logger(__name__)
 _SHARDS_RUN = get_registry().counter(
@@ -193,7 +194,8 @@ def _beat(beats, shard: Shard, **fields: Any) -> None:
 
 
 def _run_shard(
-    args: Tuple[StudySpec, Shard, int, Optional[ShardFault], bool, Any]
+    args: Tuple[StudySpec, Shard, int, Optional[ShardFault], bool, Any,
+                Any]
 ) -> ShardResult:
     """Worker entry: reconstruct state, run the shard's work locally.
 
@@ -203,8 +205,16 @@ def _run_shard(
     ``par.worker`` span tree carries real durations the parent grafts
     into its own trace.  ``beats`` (a manager queue or None) receives
     one heartbeat per finished cycle / pair block.
+
+    With ``state_dir`` set the worker warm-starts: it restores the
+    newest usable snapshot at or before ``first - 1`` from the shared
+    :class:`StateStore` and replays only the tail, instead of the whole
+    ``1..first-1`` prefix.  Probing never mutates the control plane
+    (DESIGN §6), so the resulting state — and hence the shard's output
+    — is byte-identical either way; ``replayed_cycles`` records what
+    was actually replayed.
     """
-    spec, shard, attempt, fault, profile, beats = args
+    spec, shard, attempt, fault, profile, beats, state_dir = args
     set_event_bus(EventBus())
     tracer = set_tracer(Tracer(MonotonicClock() if profile
                                else NullClock()))
@@ -217,9 +227,17 @@ def _run_shard(
                    if shard.block is not None else {})
     results: List[CycleResult] = []
     snapshots: Optional[List[list]] = None
+    replay_from = 1
     with tracer.span("par.worker", first=shard.first, last=shard.last,
                      **block_attrs):
-        simulator.fast_forward(1, shard.first - 1)
+        if state_dir is not None and shard.first > 1:
+            found = StateStore(state_dir, spec).load_nearest(
+                shard.first - 1)
+            if found is not None:
+                snapshot_cycle, state = found
+                simulator.internet.restore_state(state)
+                replay_from = snapshot_cycle + 1
+        simulator.fast_forward(replay_from, shard.first - 1)
         if shard.block is not None:
             if fault is not None:
                 fault.maybe_fire(attempt, 0)
@@ -240,7 +258,7 @@ def _run_shard(
         shard_id=shard.shard_id,
         results=results,
         metrics_delta=registry.diff(before, registry.snapshot()),
-        replayed_cycles=shard.first - 1,
+        replayed_cycles=shard.first - replay_from,
         block=((shard.first,) + shard.block
                if shard.block is not None else None),
         snapshots=snapshots,
@@ -263,6 +281,8 @@ def run_study(spec: StudySpec, workers: int = 1, *,
               backoff_base: float = 0.5,
               subdivide: bool = True,
               checkpoint_dir=None,
+              state_dir=None,
+              snapshot_stride: int = DEFAULT_SNAPSHOT_STRIDE,
               fault_plan: Optional[FaultPlan] = None,
               sleep: Callable[[float], None] = time.sleep,
               progress: Optional[Callable[[ProgressTracker],
@@ -294,6 +314,17 @@ def run_study(spec: StudySpec, workers: int = 1, *,
     vice versa.  ``fault_plan`` is the test-only injection hook
     (:mod:`repro.par.faults`); production runs leave it None.
 
+    With ``state_dir`` set, control-plane snapshots are shared through
+    a :class:`StateStore` every ``snapshot_stride`` cycles
+    (:mod:`repro.par.statestore`): the parent seeds the store while
+    advancing its own end-state simulator *before* dispatching, each
+    worker warm-starts from the nearest snapshot ≤ its shard's first
+    cycle instead of replaying the whole prefix, and the serial loop
+    writes snapshots as it runs so an interrupted study resumes warm.
+    Snapshots only shortcut :meth:`~repro.sim.ark.ArkSimulator.\
+fast_forward` — never probing — so output stays byte-identical with or
+    without them.
+
     Telemetry (DESIGN §9): lifecycle events (``study.start``,
     ``shard.dispatch``/``done``/``retry``/``restored``,
     ``cycle.metrics`` with each cycle's registry delta, ``study.done``)
@@ -309,12 +340,19 @@ def run_study(spec: StudySpec, workers: int = 1, *,
     """
     if max_retries < 0:
         raise ValueError(f"negative max_retries: {max_retries}")
+    if snapshot_stride < 1:
+        raise ValueError(f"snapshot_stride must be >= 1: "
+                         f"{snapshot_stride}")
     store = (CheckpointStore(checkpoint_dir, spec)
              if checkpoint_dir is not None else None)
+    state_store = (StateStore(state_dir, spec)
+                   if state_dir is not None else None)
     emit("study.start", cycles=spec.cycles, workers=workers)
     if workers <= 1:
         run = _run_serial(spec, store, fault_plan, progress=progress,
-                          progress_clock=progress_clock)
+                          progress_clock=progress_clock,
+                          state_store=state_store,
+                          snapshot_stride=snapshot_stride)
         emit("study.done", cycles=len(run.results), shards=0)
         return run
 
@@ -359,6 +397,18 @@ def run_study(spec: StudySpec, workers: int = 1, *,
               shards=len(shards))
     try:
         with span("par.study", cycles=spec.cycles, shards=len(shards)):
+            # The parent simulator never probes, but its end state
+            # backs post-study experiments — and, with a state store,
+            # its one replay pass seeds the snapshots every worker
+            # warm-starts from, so it runs *before* dispatch.  Without
+            # a store the replay is deferred until after collection
+            # (nothing to share).
+            simulator, pipeline = build_study(spec)
+            if state_store is not None:
+                with span("par.state_seed", cycles=spec.cycles,
+                          stride=snapshot_stride):
+                    _seed_state_store(simulator, state_store,
+                                      spec.cycles, snapshot_stride)
             # completed: full cycle-range ShardResults (executed or
             # restored at cycle granularity); blocks: raw pair blocks
             # per cycle.
@@ -420,7 +470,8 @@ def run_study(spec: StudySpec, workers: int = 1, *,
                         sleep(delay)
                 executed, failed = _dispatch(spec, pending, workers,
                                              attempts, fault_plan,
-                                             profile, beats, _on_beat)
+                                             profile, beats, _on_beat,
+                                             state_dir=state_dir)
                 for result in executed:
                     _SHARDS_RUN.inc()
                     if result.block is not None:
@@ -441,6 +492,7 @@ def run_study(spec: StudySpec, workers: int = 1, *,
                         _notify()
                     emit("shard.done", shard=result.shard_id,
                          cycles=len(result.results),
+                         replayed=result.replayed_cycles,
                          traces=_delta_total(result.metrics_delta,
                                              "sim_traces_total"),
                          cache_hits=_cache_total(result.metrics_delta,
@@ -507,7 +559,6 @@ def run_study(spec: StudySpec, workers: int = 1, *,
             # Assemble in cycle order: absorb cycle-range deltas
             # as-is; reassemble pair-block cycles and pipeline them
             # in-process, exactly where a serial run would.
-            simulator, pipeline = build_study(spec)
             registry = get_registry()
             results: List[CycleResult] = []
             shards_out: List[ShardResult] = []
@@ -534,13 +585,15 @@ def run_study(spec: StudySpec, workers: int = 1, *,
                 results.extend(assembled.results)
                 shards_out.extend(ordered)
 
-            # The parent simulator never probed, but post-study
-            # experiments (persistence sweeps, ramp campaigns, label
-            # dynamics) run extra cycles on top of the campaign's end
-            # state — replay the whole control-plane evolution so that
-            # state matches a serial run.
-            with span("par.fast_forward", cycles=spec.cycles):
-                simulator.fast_forward(1, spec.cycles)
+            # Post-study experiments (persistence sweeps, ramp
+            # campaigns, label dynamics) run extra cycles on top of
+            # the campaign's end state — replay the whole
+            # control-plane evolution so that state matches a serial
+            # run.  With a state store the seeding pass above already
+            # left the simulator at the end state.
+            if state_store is None:
+                with span("par.fast_forward", cycles=spec.cycles):
+                    simulator.fast_forward(1, spec.cycles)
     finally:
         if manager is not None:
             manager.shutdown()
@@ -549,6 +602,34 @@ def run_study(spec: StudySpec, workers: int = 1, *,
     emit("study.done", cycles=len(results), shards=len(shards_out))
     return StudyRun(simulator=simulator, pipeline=pipeline,
                     results=results, shards=shards_out)
+
+
+def _seed_state_store(simulator: ArkSimulator, state_store: StateStore,
+                      cycles: int, stride: int) -> None:
+    """Advance ``simulator`` to the campaign's end state, writing any
+    missing stride snapshots on the way.
+
+    The seeding pass itself warm-starts: it restores the newest usable
+    snapshot that does not skip past a missing stride target, so a
+    resumed or repeated study pays only for the snapshots it still
+    lacks.  On completion the simulator holds the cycle-``cycles`` end
+    state — the parallel runner's final ``fast_forward`` folded into
+    the same pass.
+    """
+    targets = range(stride, cycles + 1, stride)
+    missing = [cycle for cycle in targets
+               if not state_store.has(cycle)]
+    horizon = missing[0] if missing else cycles
+    cursor = 0
+    found = state_store.load_nearest(horizon)
+    if found is not None:
+        cursor, state = found
+        simulator.internet.restore_state(state)
+    remaining = set(missing)
+    for cycle in range(cursor + 1, cycles + 1):
+        simulator.fast_forward(cycle, cycle)
+        if cycle in remaining:
+            state_store.save(cycle, simulator.internet.capture_state())
 
 
 def _delta_total(delta: Dict[str, Any], name: str) -> float:
@@ -645,7 +726,8 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
               profile: bool = False,
               beats=None,
               on_beat: Optional[Callable[[Dict[str, Any]],
-                                         None]] = None
+                                         None]] = None,
+              state_dir=None
               ) -> Tuple[List[ShardResult],
                          List[Tuple[Shard, BaseException]]]:
     """One pool round: run every shard once, sorting survivors from
@@ -665,7 +747,7 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
                 _run_shard,
                 (spec, shard, attempts[shard],
                  fault_plan.for_shard(shard) if fault_plan else None,
-                 profile, beats),
+                 profile, beats, state_dir),
             ): shard
             for shard in shards
         }
@@ -698,15 +780,27 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                 fault_plan: Optional[FaultPlan],
                 progress: Optional[Callable[[ProgressTracker],
                                             None]] = None,
-                progress_clock: Optional[Clock] = None) -> StudyRun:
+                progress_clock: Optional[Clock] = None,
+                state_store: Optional[StateStore] = None,
+                snapshot_stride: int = DEFAULT_SNAPSHOT_STRIDE
+                ) -> StudyRun:
     """The in-process loop, with optional per-cycle checkpointing.
 
     Serially each cycle is its own checkpoint unit: a resumed run
-    fast-forwards the control plane through checkpointed cycles (no
-    probing) and absorbs their stored metrics deltas, so registry
-    totals and results match an uninterrupted run exactly (modulo the
-    stripped cache counters, which only ever count probes actually
-    issued by this process).
+    replays the control plane through checkpointed cycles (no probing)
+    and absorbs their stored metrics deltas, so registry totals and
+    results match an uninterrupted run exactly (modulo the stripped
+    cache counters, which only ever count probes actually issued by
+    this process).
+
+    With a ``state_store`` the loop writes a control-plane snapshot
+    after each probed stride-multiple cycle and the control-plane
+    advance is *deferred*: a checkpointed cycle needs no simulator
+    state, so over a run of restored cycles the loop stays put, then
+    jumps the gap in one hop — nearest snapshot plus tail replay — when
+    it next probes (or at the end, for the end state).  An interrupted
+    ``--state-dir`` study therefore resumes warm instead of replaying
+    its whole checkpointed prefix.
 
     A serial run is its own single "shard" on the progress tracker (one
     heartbeat per finished cycle), and emits the same ``cycle.metrics``
@@ -723,11 +817,28 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                                   or MonotonicClock())
         tracker.add_shard(0, float(spec.cycles))
     results: List[CycleResult] = []
+    # Last cycle whose control-plane evolution the simulator holds.
+    state_cursor = 0
+
+    def _advance_to(target: int) -> None:
+        nonlocal state_cursor
+        if target <= state_cursor:
+            return
+        if state_store is not None:
+            found = state_store.load_nearest(target, after=state_cursor)
+            if found is not None:
+                state_cursor, state = found
+                simulator.internet.restore_state(state)
+        if state_cursor < target:
+            simulator.fast_forward(state_cursor + 1, target)
+            state_cursor = target
+
     for cycle in range(1, spec.cycles + 1):
         cached = (store.load(cycle, cycle)
                   if store is not None else None)
         if cached is not None:
-            simulator.fast_forward(cycle, cycle)
+            if state_store is None:
+                _advance_to(cycle)
             registry.absorb(cached.metrics_delta)
             for result in cached.results:
                 emit("cycle.metrics", cycle=result.cycle,
@@ -739,7 +850,9 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                 if fault is not None:
                     fault.maybe_fire(0, 0)
             before = registry.snapshot() if store is not None else None
+            _advance_to(cycle - 1)
             result = pipeline.process_cycle(simulator.run_cycle(cycle))
+            state_cursor = cycle
             results.append(result)
             emit("cycle.metrics", cycle=result.cycle,
                  metrics=result.metrics)
@@ -751,11 +864,17 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                                                 registry.snapshot()),
                     replayed_cycles=0,
                 ))
+            if (state_store is not None
+                    and cycle % snapshot_stride == 0
+                    and not state_store.has(cycle)):
+                state_store.save(cycle,
+                                 simulator.internet.capture_state())
         if tracker is not None:
             tracker.heartbeat(
                 0, cycles_done=cycle,
                 traces=sim_traces.value() - traces_start)
             progress(tracker)
+    _advance_to(spec.cycles)
     if tracker is not None:
         tracker.shard_done(0)
         progress(tracker)

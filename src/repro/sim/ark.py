@@ -16,6 +16,7 @@ traceroute datasets:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -100,19 +101,35 @@ class ArkSimulator:
             addr for addr, _asn in self.internet.destination_addresses()
         ]
         self._seed = scenario.universe.seed
+        # The hash rankings are fraction-independent, so they are
+        # computed once; fractions only slice them.  Assignment pair
+        # lists are pure functions of their arguments, so a small LRU
+        # spares intra-cycle pair-block workers (and repeated-cycle
+        # experiments) the per-call team split and pair build.
+        self._ranked_monitors: Optional[List[Monitor]] = None
+        self._ranked_destinations: Optional[List[int]] = None
+        self._assignment_cache: OrderedDict = OrderedDict()
+
+    _ASSIGNMENT_CACHE_SIZE = 8
 
     # -- selection helpers ---------------------------------------------------
 
     def _active_monitors(self, fraction: float) -> List[Monitor]:
         """A stable subset: a rising fraction only ever adds monitors."""
-        ranked = sorted(self.monitors,
-                        key=lambda m: flow_hash(0xACE, m.src_addr))
+        if self._ranked_monitors is None:
+            self._ranked_monitors = sorted(
+                self.monitors,
+                key=lambda m: flow_hash(0xACE, m.src_addr))
+        ranked = self._ranked_monitors
         count = max(1, round(fraction * len(ranked)))
         return ranked[:count]
 
     def _active_destinations(self, fraction: float) -> List[int]:
-        ranked = sorted(self.destinations,
-                        key=lambda d: flow_hash(0xDE57, d))
+        if self._ranked_destinations is None:
+            self._ranked_destinations = sorted(
+                self.destinations,
+                key=lambda d: flow_hash(0xDE57, d))
+        ranked = self._ranked_destinations
         count = max(1, round(fraction * len(ranked)))
         return ranked[:count]
 
@@ -130,7 +147,17 @@ class ArkSimulator:
         only through a churned flow vanish from the follow-up snapshots,
         which is the routing-noise share the Persistence filter exists
         to remove.
+
+        The pair list is a pure function of the arguments, so it is
+        memoized (small LRU); callers must treat it as read-only —
+        :meth:`run_cycle` slices blocks out of it and
+        :class:`~repro.sim.traceroute.TracerouteEngine` only iterates.
         """
+        key = (cycle, monitor_fraction, dest_fraction, snapshot, churn)
+        cached = self._assignment_cache.get(key)
+        if cached is not None:
+            self._assignment_cache.move_to_end(key)
+            return cached
         teams = split_into_teams(
             self._active_monitors(monitor_fraction), self.team_count)
         active = self._active_destinations(dest_fraction)
@@ -144,6 +171,9 @@ class ArkSimulator:
                 member = team[flow_hash(dst, cycle, team_index, slot)
                               % len(team)]
                 pairs.append((member, dst))
+        self._assignment_cache[key] = pairs
+        if len(self._assignment_cache) > self._ASSIGNMENT_CACHE_SIZE:
+            self._assignment_cache.popitem(last=False)
         return pairs
 
     # -- campaign drivers ----------------------------------------------------

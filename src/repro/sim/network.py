@@ -90,6 +90,11 @@ class AsNetwork:
         # end without disturbing existing ones.
         self._te_pair_order = self._stable_pair_order()
         self._te_active: Dict[Tuple[int, int], int] = {}  # pair -> count
+        # Last reconciled (TE, SR) policy signatures: a cycle whose
+        # policy is unchanged skips the whole reconciliation pass
+        # (None = never reconciled / engines rebuilt).
+        self._te_signature: Optional[tuple] = None
+        self._sr_signature: Optional[tuple] = None
         # attachment router of each originated prefix index
         self.attachments: Dict[int, int] = self._assign_attachments()
         # Per-AS links to neighbors: asn -> list of
@@ -280,17 +285,13 @@ class AsNetwork:
             self.rsvp = None
             self.sr = None
             self._te_active.clear()
+            self._te_signature = None
+            self._sr_signature = None
             self.policy = policy
             return
 
         if self.labels is None:
-            self.labels = LabelManager({
-                router_id: router.vendor
-                for router_id, router in self.topology.routers.items()
-            })
-            self.ldp = LdpEngine(self.topology, self.spf, self.labels)
-            self.rsvp = RsvpTeEngine(self.topology, self.spf, self.labels)
-            self.sr = SegmentRoutingEngine(self.topology, self.spf)
+            self._build_control_planes()
         if policy.ldp:
             self.ldp.establish_transit_fecs()
             if policy.ldp_internal:
@@ -300,7 +301,27 @@ class AsNetwork:
         self._sync_sr(policy)
         self.policy = policy
 
+    def _build_control_planes(self) -> None:
+        """Fresh, empty MPLS engines over the (immutable) topology."""
+        self.labels = LabelManager({
+            router_id: router.vendor
+            for router_id, router in self.topology.routers.items()
+        })
+        self.ldp = LdpEngine(self.topology, self.spf, self.labels)
+        self.rsvp = RsvpTeEngine(self.topology, self.spf, self.labels)
+        self.sr = SegmentRoutingEngine(self.topology, self.spf)
+        self._te_signature = None
+        self._sr_signature = None
+
     def _sync_te(self, policy: MplsPolicy) -> None:
+        # The wanted map is a pure function of these two knobs (the
+        # pair order is fixed at construction), and nothing else ever
+        # changes the active-pair set — so an unchanged signature means
+        # the whole reconciliation below would be a no-op.
+        signature = (policy.te_pair_fraction,
+                     policy.te_tunnels_per_pair)
+        if signature == self._te_signature:
+            return
         wanted_pairs = int(round(policy.te_pair_fraction
                                  * len(self._te_pair_order)))
         wanted = {
@@ -323,6 +344,7 @@ class AsNetwork:
             for tunnel_id in range(current, wanted[pair]):
                 self.rsvp.signal(pair[0], pair[1], tunnel_id)
             self._te_active[pair] = wanted[pair]
+        self._te_signature = signature
 
     def _sync_sr(self, policy: MplsPolicy) -> None:
         """Reconcile the SR policy set with the cycle's configuration.
@@ -330,31 +352,39 @@ class AsNetwork:
         Policies are rebuilt from scratch (they carry no allocator
         state — node SIDs are static), with waypoints drawn
         deterministically from the core so the same configuration
-        always yields the same policies.
+        always yields the same policies.  Because the rebuilt table is
+        a pure function of the policy knobs, an unchanged signature
+        skips the rebuild entirely.
         """
         if self.sr is None:
             return
-        self.sr.clear()
-        if not policy.uses_sr:
+        signature = (policy.uses_sr, policy.sr_pair_fraction,
+                     policy.sr_policies_per_pair, policy.sr_waypoints)
+        if signature == self._sr_signature:
             return
-        wanted_pairs = int(round(policy.sr_pair_fraction
-                                 * len(self._te_pair_order)))
-        core = sorted(
-            router_id for router_id, router in self.topology.routers.items()
-            if not router.is_border
-        ) or sorted(self.topology.routers)
-        for ingress, egress in self._te_pair_order[:wanted_pairs]:
-            for policy_id in range(policy.sr_policies_per_pair):
-                waypoints = []
-                for slot in range(policy.sr_waypoints):
-                    pick = core[
-                        flow_hash(self.spec.asn, 0x5E6, ingress, egress,
-                                  policy_id, slot) % len(core)
-                    ]
-                    if pick not in (ingress, egress) \
-                            and pick not in waypoints:
-                        waypoints.append(pick)
-                self.sr.install_policy(ingress, egress, waypoints)
+        self.sr.clear()
+        if policy.uses_sr:
+            wanted_pairs = int(round(policy.sr_pair_fraction
+                                     * len(self._te_pair_order)))
+            core = sorted(
+                router_id
+                for router_id, router in self.topology.routers.items()
+                if not router.is_border
+            ) or sorted(self.topology.routers)
+            for ingress, egress in self._te_pair_order[:wanted_pairs]:
+                for policy_id in range(policy.sr_policies_per_pair):
+                    waypoints = []
+                    for slot in range(policy.sr_waypoints):
+                        pick = core[
+                            flow_hash(self.spec.asn, 0x5E6, ingress,
+                                      egress, policy_id, slot)
+                            % len(core)
+                        ]
+                        if pick not in (ingress, egress) \
+                                and pick not in waypoints:
+                            waypoints.append(pick)
+                    self.sr.install_policy(ingress, egress, waypoints)
+        self._sr_signature = signature
 
     def sr_policy_for(self, ingress: int, egress: int,
                       dst_prefix: Prefix) -> Optional[SrPolicy]:
@@ -391,6 +421,11 @@ class AsNetwork:
         Routers carrying more TE sessions are advanced proportionally
         further — a busy LSR's label counter climbs faster (paper §4.5's
         reading of Fig 17, where LSR2 outpaces LSR1).
+
+        Each allocator advances in closed form
+        (:meth:`~repro.mpls.lfib.LabelAllocator.advance`) — exactly
+        equivalent to ``count`` allocate/release pairs, at O(log space)
+        instead of O(count) per router.
         """
         if self.labels is None:
             return
@@ -401,9 +436,72 @@ class AsNetwork:
                     load[router] = load.get(router, 0) + 1
         for router_id in sorted(self.labels.allocators):
             allocator = self.labels.allocators[router_id]
-            count = per_router * (1 + load.get(router_id, 0))
-            for _ in range(count):
-                allocator.release(allocator.allocate())
+            allocator.advance(per_router * (1 + load.get(router_id, 0)))
+
+    # -- control-plane snapshots --------------------------------------------
+
+    def capture_state(self) -> Dict[str, object]:
+        """Picklable snapshot of everything the cycles mutate.
+
+        The topology, addressing and pair orders are immutable after
+        construction (pure functions of the spec), so only the evolving
+        control-plane state travels: the active policy, the TE pair
+        map, the sync memo signatures and — when MPLS is enabled — the
+        label allocators/LFIBs and the LDP/RSVP-TE/SR engine state.  A
+        ``shape`` fingerprint guards against restoring onto a different
+        topology.
+        """
+        mpls = None
+        if self.labels is not None:
+            mpls = {
+                "labels": self.labels.capture(),
+                "ldp": self.ldp.capture_established(),
+                "rsvp": self.rsvp.capture_sessions(),
+                "sr": self.sr.capture_policies(),
+            }
+        return {
+            "shape": (len(self.topology.routers),
+                      len(self.topology.links)),
+            "policy": self.policy,
+            "te_active": dict(self._te_active),
+            "te_signature": self._te_signature,
+            "sr_signature": self._sr_signature,
+            "mpls": mpls,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Install a :meth:`capture_state` snapshot onto this AS.
+
+        Engines are rebuilt fresh (exactly as :meth:`apply_policy`
+        would) and their captured state installed on top, with TE
+        routes re-interned against this instance's topology links —
+        so continuing from a restored state is byte-identical to
+        continuing from the originally captured one (asserted in
+        ``tests/test_statestore.py``).
+        """
+        shape = (len(self.topology.routers), len(self.topology.links))
+        if state["shape"] != shape:
+            raise ValueError(
+                f"AS{self.asn}: snapshot shape {state['shape']} does "
+                f"not match topology {shape}")
+        self.policy = state["policy"]
+        self._te_active = dict(state["te_active"])
+        mpls = state["mpls"]
+        if mpls is None:
+            self.labels = None
+            self.ldp = None
+            self.rsvp = None
+            self.sr = None
+            self._te_signature = None
+            self._sr_signature = None
+            return
+        self._build_control_planes()
+        self.labels.restore(mpls["labels"])
+        self.ldp.restore_established(mpls["ldp"])
+        self.rsvp.restore_sessions(mpls["rsvp"])
+        self.sr.restore_policies(mpls["sr"])
+        self._te_signature = state["te_signature"]
+        self._sr_signature = state["sr_signature"]
 
     def te_tunnel_for(self, ingress: int, egress: int,
                       dst_prefix: Prefix) -> Optional[TeSession]:
@@ -670,6 +768,46 @@ class Internet:
         """Advance per-cycle timers in every AS."""
         for asn in sorted(self.networks):
             self.networks[asn].tick()
+
+    STATE_VERSION = 1
+    """Bumped when the snapshot payload shape changes, so stale
+    snapshots are rejected instead of mis-read."""
+
+    def capture_state(self) -> Dict[str, object]:
+        """Full control-plane snapshot of the universe.
+
+        Everything that evolves across cycles — per-AS policies, label
+        allocators, LDP/RSVP-TE/SR engine state, TE-active maps — in
+        one picklable structure (:meth:`AsNetwork.capture_state`).
+        Restoring it onto a freshly built :class:`Internet` of the same
+        spec reproduces the captured state exactly, which is what lets
+        ``repro.par`` workers warm-start from a
+        :class:`~repro.par.statestore.StateStore` snapshot instead of
+        replaying the whole campaign prefix (DESIGN §10).
+        """
+        return {
+            "version": self.STATE_VERSION,
+            "networks": {asn: self.networks[asn].capture_state()
+                         for asn in sorted(self.networks)},
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Install a :meth:`capture_state` snapshot.
+
+        The snapshot's AS set and per-AS topology shapes must match
+        this universe (same spec); anything else raises ValueError
+        rather than silently mixing state across universes.
+        """
+        if state.get("version") != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported state snapshot version "
+                f"{state.get('version')!r}")
+        networks = state["networks"]
+        if set(networks) != set(self.networks):
+            raise ValueError("snapshot AS set does not match this "
+                             "universe")
+        for asn in sorted(networks):
+            self.networks[asn].restore_state(networks[asn])
 
     def __repr__(self) -> str:
         return f"Internet(ases={len(self.networks)})"

@@ -62,6 +62,16 @@ _STOP_REASONS = {code: reason for reason, code in _STOP_CODES.items()}
 _FLAG_RESPONDED = 0x01
 _FLAG_LABELS = 0x02
 
+# Hot-path formats, compiled once: encode/decode run per hop and per
+# LSE over millions of records, where struct.pack/unpack's per-call
+# format parse and cache lookup are measurable.
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_HOP_HEAD = struct.Struct("!BB")
+_HOP_RESPONSE = struct.Struct("!IfB")
+_TRACE_HEAD = struct.Struct("!IIdBH")
+
 
 class WartsError(ValueError):
     """Raised on malformed archive data."""
@@ -73,14 +83,14 @@ def _encode_hop(hop: TraceHop) -> bytes:
         flags |= _FLAG_RESPONDED
     if hop.quoted_stack:
         flags |= _FLAG_LABELS
-    parts = [struct.pack("!BB", hop.probe_ttl, flags)]
+    parts = [_HOP_HEAD.pack(hop.probe_ttl, flags)]
     if not hop.is_anonymous:
-        parts.append(struct.pack("!IfB", hop.address, hop.rtt_ms,
-                                 hop.quoted_ttl))
+        parts.append(_HOP_RESPONSE.pack(hop.address, hop.rtt_ms,
+                                        hop.quoted_ttl))
     if hop.quoted_stack:
-        parts.append(struct.pack("!B", len(hop.quoted_stack)))
+        parts.append(_U8.pack(len(hop.quoted_stack)))
         parts.extend(
-            struct.pack("!I", entry.encode()) for entry in hop.quoted_stack
+            _U32.pack(entry.encode()) for entry in hop.quoted_stack
         )
     return b"".join(parts)
 
@@ -93,10 +103,9 @@ def encode_trace(trace: Trace) -> bytes:
     if len(trace.hops) > 0xFFFF:
         raise WartsError(f"too many hops: {len(trace.hops)}")
     parts = [
-        struct.pack("!B", len(name)),
+        _U8.pack(len(name)),
         name,
-        struct.pack(
-            "!IIdBH",
+        _TRACE_HEAD.pack(
             trace.src,
             trace.dst,
             trace.timestamp,
@@ -125,8 +134,8 @@ class _Cursor:
         self.offset = end
         return chunk
 
-    def unpack(self, fmt: str):
-        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+    def unpack(self, fmt: struct.Struct):
+        return fmt.unpack(self.take(fmt.size))
 
     def done(self) -> bool:
         return self.offset == len(self.data)
@@ -135,24 +144,25 @@ class _Cursor:
 def decode_trace(body: bytes) -> Trace:
     """Parse one trace record body."""
     cursor = _Cursor(body)
-    (name_length,) = cursor.unpack("!B")
+    (name_length,) = cursor.unpack(_U8)
     monitor = cursor.take(name_length).decode("utf-8")
-    src, dst, timestamp, stop_code, hop_count = cursor.unpack("!IIdBH")
+    src, dst, timestamp, stop_code, hop_count = cursor.unpack(
+        _TRACE_HEAD)
     if stop_code not in _STOP_REASONS:
         raise WartsError(f"unknown stop reason code {stop_code}")
     hops: List[TraceHop] = []
     for _ in range(hop_count):
-        probe_ttl, flags = cursor.unpack("!BB")
+        probe_ttl, flags = cursor.unpack(_HOP_HEAD)
         address = None
         rtt = 0.0
         quoted_ttl = 1
         if flags & _FLAG_RESPONDED:
-            address, rtt, quoted_ttl = cursor.unpack("!IfB")
+            address, rtt, quoted_ttl = cursor.unpack(_HOP_RESPONSE)
         stack: List[LabelStackEntry] = []
         if flags & _FLAG_LABELS:
-            (lse_count,) = cursor.unpack("!B")
+            (lse_count,) = cursor.unpack(_U8)
             for _ in range(lse_count):
-                (word,) = cursor.unpack("!I")
+                (word,) = cursor.unpack(_U32)
                 stack.append(LabelStackEntry.decode(word))
         hops.append(TraceHop(probe_ttl=probe_ttl, address=address,
                              rtt_ms=rtt, quoted_stack=tuple(stack),
@@ -170,13 +180,13 @@ class WartsWriter:
 
     def __init__(self, stream: BinaryIO):
         self._stream = stream
-        self._stream.write(MAGIC + struct.pack("!H", VERSION))
+        self._stream.write(MAGIC + _U16.pack(VERSION))
         self.written = 0
 
     def write(self, trace: Trace) -> None:
         """Append one trace record."""
         body = encode_trace(trace)
-        self._stream.write(struct.pack("!I", len(body)))
+        self._stream.write(_U32.pack(len(body)))
         self._stream.write(body)
         self.written += 1
 
@@ -213,7 +223,7 @@ class WartsReader:
         header = self._read(6)
         if len(header) != 6 or header[:4] != MAGIC:
             raise WartsError("not a warts-like archive (bad magic)")
-        (version,) = struct.unpack("!H", header[4:])
+        (version,) = _U16.unpack(header[4:])
         if version != VERSION:
             raise WartsError(f"unsupported version {version}")
 
@@ -253,7 +263,7 @@ class WartsReader:
                     if not chunk:
                         return False
                     rest += chunk
-                (version,) = struct.unpack("!H", rest[:2])
+                (version,) = _U16.unpack(rest[:2])
                 if version == VERSION:
                     self._buffer = rest[2:]
                     return True
@@ -276,7 +286,7 @@ class WartsReader:
                     self._skip("truncated_length")
                     return
                 raise WartsError("truncated record length")
-            (length,) = struct.unpack("!I", length_bytes)
+            (length,) = _U32.unpack(length_bytes)
             if length > MAX_RECORD_LENGTH:
                 if self.tolerant:
                     self._skip("oversized_length")

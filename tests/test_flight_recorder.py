@@ -257,7 +257,7 @@ class TestCheckpointSpans:
         assert loaded is not None
         assert loaded.spans is None
 
-    def test_version_2_files_rejected(self, tmp_path):
+    def test_older_version_files_rejected(self, tmp_path):
         import pickle
         store = CheckpointStore(tmp_path, SPEC2)
         run = run_study(SPEC2, workers=1)
@@ -265,7 +265,7 @@ class TestCheckpointSpans:
                              metrics_delta={}, replayed_cycles=0)
         path = store.save(result)
         payload = pickle.loads(path.read_bytes())
-        assert payload["version"] == CHECKPOINT_VERSION == 3
-        payload["version"] = 2
+        assert payload["version"] == CHECKPOINT_VERSION == 4
+        payload["version"] = 3
         path.write_bytes(pickle.dumps(payload))
         assert store.load(1, 1) is None
