@@ -1,6 +1,7 @@
 """Regeneration of the paper's tables and figures."""
 
-from .aggregate import LongitudinalStudy, MeanWithCi, mean_with_ci
+from .aggregate import (LongitudinalStudy, MeanWithCi, mean_with_ci,
+                        t_critical_95)
 from .render import (
     bar_chart,
     format_table,
@@ -36,6 +37,7 @@ __all__ = [
     "LongitudinalStudy",
     "MeanWithCi",
     "mean_with_ci",
+    "t_critical_95",
     "bar_chart",
     "format_table",
     "series_chart",

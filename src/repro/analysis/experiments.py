@@ -77,6 +77,7 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            state_dir=None,
                            snapshot_stride: int = 8,
                            max_retries: int = 2,
+                           backoff_base: float = 0.5,
                            progress: Optional[Callable] = None,
                            progress_clock=None) -> Study:
     """Run the paper's measurement campaign end to end.
@@ -89,7 +90,8 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     (Figs 6, 16, 17) regenerate identically too.  ``checkpoint_dir``
     makes the campaign restartable (finished shards are persisted and
     replayed instead of re-run) and ``max_retries`` bounds how often a
-    crashed shard is re-dispatched before the study aborts.
+    crashed shard is re-dispatched before the study aborts
+    (``backoff_base`` seeds the exponential retry delay).
     ``state_dir`` adds warm-start control-plane snapshots every
     ``snapshot_stride`` cycles (:mod:`repro.par.statestore`): workers
     and resumed runs restore the nearest snapshot instead of replaying
@@ -107,6 +109,7 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                         state_dir=state_dir,
                         snapshot_stride=snapshot_stride,
                         max_retries=max_retries,
+                        backoff_base=backoff_base,
                         progress=progress,
                         progress_clock=progress_clock)
     _log.info("study.done", cycles=len(run.results))

@@ -226,6 +226,49 @@ def _filter_section(grouped: Dict[str, List[Event]]) -> List[str]:
     return lines
 
 
+def _verify_section(grouped: Dict[str, List[Event]]) -> List[str]:
+    """Differential-oracle activity (:mod:`repro.verify`).
+
+    A ``repro verify`` run leaves one ``verify.config`` event per
+    configuration executed, a ``verify.divergence`` /
+    ``verify.violation`` per finding, and — when the shrinker ran — a
+    ``verify.minimal`` carrying the standalone repro command.
+    """
+    configs = grouped.get("verify.config", [])
+    violations = grouped.get("verify.violation", [])
+    divergences = grouped.get("verify.divergence", [])
+    minimal = grouped.get("verify.minimal", [])
+    shrink_steps = grouped.get("verify.shrink.step", [])
+    if not (configs or violations or divergences):
+        return []
+    lines = ["== differential verification =="]
+    if configs:
+        rows = [[event.fields.get("config", "?"),
+                 event.fields.get("cycles", ""),
+                 event.fields.get("status", "?")]
+                for event in configs]
+        lines.append(format_table(["config", "cycles", "status"],
+                                  rows))
+    for event in violations:
+        where = (f" (cycle {event.fields['cycle']})"
+                 if "cycle" in event.fields else "")
+        lines.append(f"invariant violation{where}: "
+                     f"[{event.fields.get('checker', '?')}] "
+                     f"{event.fields.get('message', '')}")
+    for event in divergences:
+        where = (f"cycle {event.fields['cycle']}, "
+                 if "cycle" in event.fields else "")
+        lines.append(f"divergence: {event.fields.get('config', '?')} "
+                     f"at {where}stage "
+                     f"{event.fields.get('stage', '?')}")
+    for event in minimal:
+        lines.append(f"minimal repro "
+                     f"({event.fields.get('trials', '?')} shrink "
+                     f"trials, {len(shrink_steps)} steps recorded): "
+                     f"{event.fields.get('command', '?')}")
+    return lines
+
+
 def _stage_section(trace_events: Sequence[Dict[str, Any]]) -> List[str]:
     """Per-stage totals from the Chrome trace, parent vs workers.
 
@@ -287,6 +330,7 @@ def flight_report(events_path: Union[str, Path],
         _cache_section(grouped),
         _snapshot_section(grouped),
         _filter_section(grouped),
+        _verify_section(grouped),
     ]
     if trace_path is not None:
         trace_events = load_trace(trace_path)

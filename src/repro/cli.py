@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror the measurement workflow:
+Seven subcommands mirror the measurement workflow:
 
 * ``simulate`` — run the simulated Archipelago for some cycles, writing
   one warts-like archive per snapshot plus the matching pfx2as table;
@@ -13,7 +13,12 @@ Six subcommands mirror the measurement workflow:
   ``--events-out`` (append-only JSONL event log), ``--trace-out``
   (Chrome trace-event JSON, loadable in Perfetto);
 * ``report`` — reconstruct a past study from its flight-recorder
-  files.
+  files;
+* ``verify`` — the differential oracle: execute one spec through every
+  fast-path configuration (workers, pair blocks, no-memo, checkpoint
+  resume, warm-start state store, archive round-trips), diff canonical
+  artifacts against the serial reference, audit invariants, and
+  auto-shrink any divergence to a minimal reproducing spec.
 
 Example round trip::
 
@@ -23,12 +28,14 @@ Example round trip::
     repro study --workers 4 --progress --events-out events.jsonl \\
         --trace-out trace.json --artifacts table1
     repro report events.jsonl --trace trace.json
+    repro verify --cycles 4 --scale 0.25
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -43,6 +50,7 @@ from .core import LprPipeline
 from .core.report import render_report
 from .core.revelation import TunnelVisibility, visibility_census
 from .net.ip2as import Ip2AsMapper
+from .par import StudySpec
 from .obs import (
     EventBus,
     MonotonicClock,
@@ -59,6 +67,7 @@ from .obs import (
 )
 from .sim import ArkSimulator, paper_scenario
 from .traces import Trace
+from .verify import CONFIG_NAMES, default_matrix, run_matrix
 from .warts import read_archive, salvage_archive, write_archive
 
 _log = get_logger(__name__)
@@ -154,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="re-dispatch a crashed shard up to N times "
                             "(exponential backoff) before aborting")
+    study.add_argument("--backoff-base", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="base delay of the exponential retry "
+                            "backoff (attempt k sleeps base * 2^k; "
+                            "default 0.5, must be >= 0)")
     study.add_argument("--progress", action="store_true",
                        help="live one-line progress on stderr (cycles "
                             "done, shards, traces, ETA), fed by worker "
@@ -179,6 +193,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "(adds per-stage times + slowest cycles)")
     report.add_argument("--top", type=int, default=5, metavar="N",
                         help="how many slowest cycles to list")
+
+    verify = sub.add_parser(
+        "verify", help="differential oracle: prove every fast path "
+                       "equals the serial reference")
+    verify.add_argument("--cycles", type=int, default=4)
+    verify.add_argument("--scale", type=float, default=0.25)
+    verify.add_argument("--seed", type=int, default=2015)
+    verify.add_argument("--snapshots-per-cycle", type=int, default=2)
+    verify.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker-process count exercised by the "
+                             "'workers' configuration (default 2)")
+    verify.add_argument("--configs", nargs="+", default=None,
+                        choices=list(CONFIG_NAMES), metavar="NAME",
+                        help="run only these configurations (default: "
+                             f"the full matrix: "
+                             f"{', '.join(CONFIG_NAMES)})")
+    verify.add_argument("--workdir", type=Path, default=None,
+                        metavar="DIR",
+                        help="scratch directory for checkpoint/state/"
+                             "archive stores (default: a temporary "
+                             "directory, removed afterwards)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without shrinking "
+                             "them to minimal reproducing specs")
+    verify.add_argument("--events-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="append verify.* flight-recorder events "
+                             "(JSONL) to FILE; read back with "
+                             "'repro report'")
     return parser
 
 
@@ -240,7 +283,8 @@ def cmd_classify(args) -> int:
     pipeline = LprPipeline(
         ip2as, persistence_window=args.persistence_window,
         php_heuristic=args.php_heuristic)
-    result = pipeline.process_snapshots(0, snapshots)
+    result = pipeline.process_snapshots(
+        _cycle_number(args.cycle_dir), snapshots)
 
     stats = result.filter_stats
     print(f"traces: {result.stats.trace_count}, with tunnels: "
@@ -307,6 +351,19 @@ def _load_cycle(cycle_dir: Path, tolerant: bool = False
     return ip2as, snapshots, skipped
 
 
+def _cycle_number(cycle_dir: Path) -> int:
+    """The cycle a ``cycle-NN`` directory holds (0 when unparseable).
+
+    ``simulate`` names directories after real cycle numbers; reports
+    over a re-read cycle must carry that number, not a hardcoded 0.
+    """
+    name = cycle_dir.name
+    prefix, _, suffix = name.partition("-")
+    if prefix == "cycle" and suffix.isdigit():
+        return int(suffix)
+    return 0
+
+
 def cmd_audit(args) -> int:
     try:
         ip2as, snapshots, _ = _load_cycle(args.cycle_dir)
@@ -314,7 +371,8 @@ def cmd_audit(args) -> int:
         print(error, file=sys.stderr)
         return 1
     pipeline = LprPipeline(ip2as)
-    result = pipeline.process_snapshots(0, snapshots)
+    result = pipeline.process_snapshots(
+        _cycle_number(args.cycle_dir), snapshots)
     print(render_report(result, limit=args.limit))
     return 0
 
@@ -332,6 +390,10 @@ def cmd_study(args) -> int:
         return 2
     if args.max_retries < 0:
         print(f"--max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+    if args.backoff_base < 0:
+        print(f"--backoff-base must be >= 0, got {args.backoff_base}",
               file=sys.stderr)
         return 2
     if args.snapshot_stride < 1:
@@ -358,6 +420,7 @@ def cmd_study(args) -> int:
             state_dir=args.state_dir,
             snapshot_stride=args.snapshot_stride,
             max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
             progress=progress)
     finally:
         if printer is not None:
@@ -384,6 +447,50 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    if args.cycles < 1:
+        print(f"--cycles must be >= 1, got {args.cycles}",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.snapshots_per_cycle < 1:
+        print(f"--snapshots-per-cycle must be >= 1, "
+              f"got {args.snapshots_per_cycle}", file=sys.stderr)
+        return 2
+    bus = None
+    if args.events_out is not None:
+        bus = EventBus(sink=args.events_out)
+        set_event_bus(bus)
+    spec = StudySpec(scale=args.scale, seed=args.seed,
+                     cycles=args.cycles,
+                     snapshots_per_cycle=args.snapshots_per_cycle)
+    configs = None
+    if args.configs is not None:
+        matrix = {config.name: config
+                  for config in default_matrix(workers=args.workers)}
+        configs = [matrix[name] for name in args.configs]
+    try:
+        if args.workdir is not None:
+            report = run_matrix(spec, configs, workdir=args.workdir,
+                                shrink=not args.no_shrink,
+                                workers=args.workers)
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-verify-") as scratch:
+                report = run_matrix(spec, configs,
+                                    workdir=Path(scratch),
+                                    shrink=not args.no_shrink,
+                                    workers=args.workers)
+    finally:
+        if bus is not None:
+            bus.close()
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def _profile_table(tracer: Tracer) -> str:
     """Per-stage span breakdown of everything the tracer recorded."""
     rows = [
@@ -402,6 +509,7 @@ _COMMANDS = {
     "audit": cmd_audit,
     "study": cmd_study,
     "report": cmd_report,
+    "verify": cmd_verify,
 }
 
 

@@ -131,6 +131,11 @@ class StudySpec:
     persistence_window: int = 2
     reinject_threshold: float = 0.10
     php_heuristic: bool = False
+    memoize: bool = True
+    """Forwarding-path memoization (DESIGN §8).  The caches are exact,
+    so flipping this never changes results — which is precisely what
+    the differential oracle (:mod:`repro.verify`) asserts by running
+    the same campaign with and without them."""
 
 
 def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
@@ -138,6 +143,7 @@ def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
     simulator = ArkSimulator(
         paper_scenario(scale=spec.scale, seed=spec.seed),
         snapshots_per_cycle=spec.snapshots_per_cycle,
+        memoize=spec.memoize,
     )
     pipeline = LprPipeline(
         simulator.internet.ip2as,
@@ -340,6 +346,8 @@ fast_forward` — never probing — so output stays byte-identical with or
     """
     if max_retries < 0:
         raise ValueError(f"negative max_retries: {max_retries}")
+    if backoff_base < 0:
+        raise ValueError(f"negative backoff_base: {backoff_base}")
     if snapshot_stride < 1:
         raise ValueError(f"snapshot_stride must be >= 1: "
                          f"{snapshot_stride}")

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.aggregate import LongitudinalStudy, mean_with_ci
+from repro.analysis.aggregate import (LongitudinalStudy, mean_with_ci,
+                                      t_critical_95)
 from repro.analysis.render import (
     bar_chart,
     format_table,
@@ -181,3 +182,71 @@ class TestRendering:
     def test_stacked_shares_no_data_column(self):
         text = stacked_shares({"mono": [0.0]}, [1])
         assert text.splitlines()[0] == "."
+
+
+class TestStudentTCriticalValues:
+    def test_small_samples_use_student_t(self):
+        assert t_critical_95(2) == pytest.approx(12.706)
+        assert t_critical_95(3) == pytest.approx(4.303)
+        assert t_critical_95(30) == pytest.approx(2.045)
+
+    def test_large_samples_use_normal(self):
+        assert t_critical_95(31) == pytest.approx(1.96)
+        assert t_critical_95(60) == pytest.approx(1.96)
+
+    def test_below_two_samples_raises(self):
+        with pytest.raises(ValueError):
+            t_critical_95(1)
+
+    def test_small_n_half_width_regression(self):
+        # n=3 with unit sample variance: the normal approximation
+        # would claim ±1.96/sqrt(3); Student-t demands ±4.303/sqrt(3).
+        stats = mean_with_ci([1.0, 2.0, 3.0])
+        assert stats.half_width == pytest.approx(4.303 * (1 / 3) ** 0.5)
+        assert stats.half_width > 1.96 * (1 / 3) ** 0.5
+
+    def test_paper_scale_n60_unchanged(self):
+        # The paper's 60-cycle campaign keeps its familiar z=1.96
+        # half-widths: pin the exact normal-approximation value.
+        values = [0.5 + 0.01 * (i % 7) for i in range(60)]
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stats = mean_with_ci(values)
+        assert stats.half_width == pytest.approx(
+            1.96 * (variance / n) ** 0.5)
+
+
+class TestFilterSurvivalSinglePass:
+    def test_matches_per_stage_recomputation(self):
+        results = [
+            fake_cycle(c, mono=c, mpls_ips=10 + c, other_ips=100 + c)
+            for c in range(1, 9)
+        ]
+        study = LongitudinalStudy(results)
+        survival = study.filter_survival()
+        stages = ("incomplete", "intra_as", "target_as",
+                  "transit_diversity", "persistence")
+        naive = {
+            stage: mean_with_ci([
+                result.filter_stats.proportions()[stage]
+                for result in study.results
+            ])
+            for stage in stages
+        }
+        assert survival == naive
+
+    def test_one_proportions_call_per_cycle(self, monkeypatch):
+        study = LongitudinalStudy(
+            [fake_cycle(c) for c in range(1, 5)])
+        calls = []
+        original = type(study.results[0].filter_stats).proportions
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(type(study.results[0].filter_stats),
+                            "proportions", counting)
+        study.filter_survival()
+        assert len(calls) == len(study.results)

@@ -234,3 +234,44 @@ class TestAudit:
         empty = tmp_path / "none"
         empty.mkdir()
         assert main(["audit", "--cycle-dir", str(empty)]) == 1
+
+
+class TestAuditCycleNumber:
+    def test_report_carries_the_directory_cycle(self, campaign_dir,
+                                                capsys):
+        cycle_dir = campaign_dir / "cycle-30"
+        assert main(["audit", "--cycle-dir", str(cycle_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "cycle 30:" in output
+        assert "cycle 0:" not in output
+
+    def test_unparseable_directory_falls_back_to_zero(self):
+        from pathlib import Path
+
+        from repro.cli import _cycle_number
+
+        assert _cycle_number(Path("/tmp/campaign/cycle-07")) == 7
+        assert _cycle_number(Path("/tmp/campaign/snapshots")) == 0
+        assert _cycle_number(Path("/tmp/campaign/cycle-x")) == 0
+
+
+class TestBackoffBaseFlag:
+    def test_default(self):
+        args = build_parser().parse_args(["study"])
+        assert args.backoff_base == 0.5
+
+    def test_negative_rejected_before_any_work(self, capsys):
+        code = main(["study", "--backoff-base", "-0.5",
+                     "--cycles", "1", "--scale", "0.1"])
+        assert code == 2
+        assert "--backoff-base" in capsys.readouterr().err
+
+    def test_run_study_guards_negative_backoff(self):
+        import pytest as _pytest
+
+        from repro.par import StudySpec, run_study
+
+        spec = StudySpec(scale=0.1, seed=1, cycles=1,
+                         snapshots_per_cycle=2)
+        with _pytest.raises(ValueError, match="backoff_base"):
+            run_study(spec, backoff_base=-1.0)

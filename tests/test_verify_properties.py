@@ -1,0 +1,184 @@
+"""Property-based tests for the verify invariant checkers.
+
+Two directions, both randomized: checkers stay silent on arbitrary
+*valid* results (no false positives over the whole input space), and
+every checker fires when its invariant is deliberately broken (no
+false negatives on the violation classes it claims to catch).
+"""
+
+from unittest import mock
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classification import (
+    ClassificationResult,
+    IotpVerdict,
+    TunnelClass,
+)
+from repro.core.filters import FilterStats
+from repro.verify.invariants import (
+    SHARE_EPSILON,
+    classification_reconciliation,
+    filter_drop_counters,
+    filter_funnel,
+)
+
+_CLASSES = list(TunnelClass)
+
+
+@st.composite
+def monotone_filter_stats(draw):
+    """A valid funnel: six non-increasing survivor counts."""
+    counts = sorted(
+        draw(st.lists(st.integers(min_value=0, max_value=10_000),
+                      min_size=6, max_size=6)),
+        reverse=True)
+    return FilterStats(
+        extracted=counts[0], after_incomplete=counts[1],
+        after_intra_as=counts[2], after_target_as=counts[3],
+        after_transit_diversity=counts[4],
+        after_persistence=counts[5])
+
+
+@st.composite
+def widened_filter_stats(draw):
+    """An invalid funnel: one stage gained survivors."""
+    stats = draw(monotone_filter_stats())
+    stage = draw(st.sampled_from(
+        ["after_incomplete", "after_intra_as", "after_target_as",
+         "after_transit_diversity", "after_persistence"]))
+    order = ["extracted", "after_incomplete", "after_intra_as",
+             "after_target_as", "after_transit_diversity",
+             "after_persistence"]
+    previous = order[order.index(stage) - 1]
+    bump = draw(st.integers(min_value=1, max_value=100))
+    return FilterStats(**{
+        name: (getattr(stats, previous) + bump if name == stage
+               else getattr(stats, name))
+        for name in order
+    })
+
+
+@st.composite
+def classifications(draw):
+    """A ClassificationResult over random verdicts."""
+    classes = draw(st.lists(st.sampled_from(_CLASSES), max_size=64))
+    result = ClassificationResult()
+    for index, tunnel_class in enumerate(classes):
+        result.add(IotpVerdict(key=(65001, 0, index),
+                               tunnel_class=tunnel_class))
+    return result
+
+
+def _cycle(filter_stats=None, classification=None, metrics=None,
+           iotps=None):
+    return mock.Mock(
+        cycle=1, filter_stats=filter_stats,
+        classification=classification,
+        metrics=metrics if metrics is not None else {},
+        iotps=iotps if iotps is not None else {})
+
+
+class TestFunnelMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(monotone_filter_stats())
+    def test_valid_funnels_pass(self, stats):
+        assert filter_funnel(_cycle(filter_stats=stats)) == []
+
+    @settings(max_examples=80, deadline=None)
+    @given(widened_filter_stats())
+    def test_widened_funnels_fire(self, stats):
+        problems = filter_funnel(_cycle(filter_stats=stats))
+        assert any("widened" in problem for problem in problems)
+
+    @settings(max_examples=40, deadline=None)
+    @given(monotone_filter_stats(),
+           st.integers(min_value=1, max_value=50))
+    def test_excess_iotps_fire(self, stats, excess):
+        iotps = {(65001, 0, index): None
+                 for index in range(stats.after_persistence + excess)}
+        problems = filter_funnel(_cycle(filter_stats=stats,
+                                        iotps=iotps))
+        assert any("IOTPs" in problem for problem in problems)
+
+
+class TestShareReconciliation:
+    @settings(max_examples=80, deadline=None)
+    @given(classifications())
+    def test_real_shares_always_reconcile(self, classification):
+        cycle = _cycle(classification=classification)
+        assert classification_reconciliation(cycle) == []
+        shares = classification.shares()
+        if classification.verdicts:
+            assert abs(sum(shares.values()) - 1.0) <= SHARE_EPSILON
+
+    @settings(max_examples=40, deadline=None)
+    @given(classifications().filter(lambda c: len(c.verdicts) > 0),
+           st.floats(min_value=0.01, max_value=0.5))
+    def test_perturbed_shares_fire(self, classification, skew):
+        honest = classification.shares()
+        crooked = dict(honest)
+        crooked[_CLASSES[0]] = honest[_CLASSES[0]] + skew
+        broken = mock.Mock(
+            verdicts=classification.verdicts,
+            counts=classification.counts,
+            shares=lambda: crooked)
+        problems = classification_reconciliation(
+            _cycle(classification=broken))
+        assert problems
+
+    @settings(max_examples=40, deadline=None)
+    @given(classifications().filter(lambda c: len(c.verdicts) > 0),
+           st.integers(min_value=1, max_value=10))
+    def test_miscounted_totals_fire(self, classification, extra):
+        honest = classification.counts()
+        crooked = dict(honest)
+        crooked[_CLASSES[0]] = honest[_CLASSES[0]] + extra
+        broken = mock.Mock(
+            verdicts=classification.verdicts,
+            counts=lambda: crooked,
+            shares=classification.shares)
+        problems = classification_reconciliation(
+            _cycle(classification=broken))
+        assert any("counts sum" in problem for problem in problems)
+
+
+class TestDropCounters:
+    @settings(max_examples=60, deadline=None)
+    @given(monotone_filter_stats())
+    def test_consistent_counters_pass(self, stats):
+        funnel = [stats.extracted, stats.after_incomplete,
+                  stats.after_intra_as, stats.after_target_as,
+                  stats.after_transit_diversity,
+                  stats.after_persistence]
+        names = ["incomplete", "intra_as", "target_as",
+                 "transit_diversity", "persistence"]
+        metrics = {"lsps_dropped_total": {"values": [
+            {"labels": {"filter": name},
+             "value": float(funnel[index] - funnel[index + 1])}
+            for index, name in enumerate(names)
+        ]}}
+        cycle = _cycle(filter_stats=stats, metrics=metrics)
+        assert filter_drop_counters(cycle) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(monotone_filter_stats(),
+           st.sampled_from(["incomplete", "intra_as", "target_as",
+                            "transit_diversity", "persistence"]),
+           st.integers(min_value=1, max_value=100))
+    def test_skewed_counter_fires(self, stats, victim, skew):
+        funnel = [stats.extracted, stats.after_incomplete,
+                  stats.after_intra_as, stats.after_target_as,
+                  stats.after_transit_diversity,
+                  stats.after_persistence]
+        names = ["incomplete", "intra_as", "target_as",
+                 "transit_diversity", "persistence"]
+        metrics = {"lsps_dropped_total": {"values": [
+            {"labels": {"filter": name},
+             "value": float(funnel[index] - funnel[index + 1]
+                            + (skew if name == victim else 0))}
+            for index, name in enumerate(names)
+        ]}}
+        cycle = _cycle(filter_stats=stats, metrics=metrics)
+        problems = filter_drop_counters(cycle)
+        assert any(victim in problem for problem in problems)
