@@ -79,7 +79,8 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            max_retries: int = 2,
                            backoff_base: float = 0.5,
                            progress: Optional[Callable] = None,
-                           progress_clock=None) -> Study:
+                           progress_clock=None,
+                           engine: str = "object") -> Study:
     """Run the paper's measurement campaign end to end.
 
     ``scale`` shrinks router/prefix counts for fast tests; ``cycles``
@@ -98,9 +99,12 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     every earlier cycle — still byte-identical (DESIGN §10).
     ``progress``/``progress_clock`` pass straight to
     :func:`repro.par.run_study` for live telemetry (DESIGN §9).
+    ``engine`` picks the analysis backend (``object`` or ``columnar``,
+    DESIGN §12) — byte-identical either way.
     """
     spec = StudySpec(scale=scale, seed=seed, cycles=cycles or CYCLES,
-                     snapshots_per_cycle=snapshots_per_cycle)
+                     snapshots_per_cycle=snapshots_per_cycle,
+                     engine=engine)
     _log.info("study.start", scale=scale, seed=seed, cycles=spec.cycles,
               workers=workers)
     with span("study.run", cycles=spec.cycles, workers=workers):

@@ -133,9 +133,21 @@ def _work_label(fields: Dict[str, Any]) -> str:
     return f"cycles {first}-{last}"
 
 
+def _hit_rate_line(label: str, hits: float, misses: float) -> str:
+    """One cache family's line; a partial events file may have seen
+    only hits or only misses, so the rate is guarded, never assumed."""
+    total = hits + misses
+    rate = f"  hit rate: {hits / total:.1%}" if total else ""
+    return f"{label}: hits {hits:.0f}  misses {misses:.0f}{rate}"
+
+
 def _cache_section(grouped: Dict[str, List[Event]]) -> List[str]:
-    """Hit rates summed over shard.done (parallel) and cache.flush
-    (serial) events — the two places cache telemetry surfaces."""
+    """Per-family cache telemetry: the forwarding-path caches (summed
+    over ``shard.done`` / ``cache.flush`` events), the IP2AS block
+    memo and the columnar engine's encode/kernel counters (both from
+    ``cycle.metrics`` registry deltas).  Families absent from the
+    events file are simply omitted — a partial or serial-only file
+    must never divide by zero."""
     hits = misses = 0
     for event in grouped.get("shard.done", []):
         hits += event.fields.get("cache_hits", 0)
@@ -143,12 +155,35 @@ def _cache_section(grouped: Dict[str, List[Event]]) -> List[str]:
     for event in grouped.get("cache.flush", []):
         hits += event.fields.get("hits", 0)
         misses += event.fields.get("misses", 0)
-    total = hits + misses
-    if not total:
+
+    metric_rows = [event.fields.get("metrics", {})
+                   for event in grouped.get("cycle.metrics", [])]
+
+    def metric(name: str, **labels: Any) -> float:
+        return sum(_cycle_metric(metrics, name, **labels)
+                   for metrics in metric_rows)
+
+    ip2as_hits = metric("ip2as_lookup_cache_hits_total")
+    ip2as_misses = metric("ip2as_lookup_cache_misses_total")
+    engine_traces = metric("engine_rows_encoded_total", kind="trace")
+    engine_hops = metric("engine_rows_encoded_total", kind="hop")
+    engine_seconds = metric("engine_kernel_seconds")
+
+    lines = []
+    if hits + misses:
+        lines.append(_hit_rate_line("forwarding", hits, misses))
+    if ip2as_hits + ip2as_misses:
+        lines.append(_hit_rate_line("ip2as memo", ip2as_hits,
+                                    ip2as_misses))
+    if engine_traces + engine_hops:
+        line = (f"columnar engine: {engine_traces:.0f} traces / "
+                f"{engine_hops:.0f} hops encoded")
+        if engine_seconds:
+            line += f"  kernel time: {engine_seconds:.2f}s"
+        lines.append(line)
+    if not lines:
         return []
-    return ["== forwarding-path caches ==",
-            f"hits: {hits:.0f}  misses: {misses:.0f}  "
-            f"hit rate: {hits / total:.1%}"]
+    return ["== forwarding-path caches =="] + lines
 
 
 def _snapshot_section(grouped: Dict[str, List[Event]]) -> List[str]:

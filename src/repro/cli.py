@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "workers beyond the cycle count split "
                             "cycles into pair blocks (byte-identical "
                             "output either way; default serial)")
+    study.add_argument("--engine", default="object",
+                       choices=["object", "columnar"],
+                       help="analysis backend: the classic per-object "
+                            "pipeline or the columnar kernel engine "
+                            "(byte-identical results, columnar is "
+                            "faster; default object)")
     study.add_argument("--profile", action="store_true",
                        help="time every pipeline stage and print a "
                             "per-stage breakdown table")
@@ -416,6 +422,7 @@ def cmd_study(args) -> int:
             scale=args.scale, seed=args.seed,
             cycles=args.cycles,
             workers=args.workers,
+            engine=args.engine,
             checkpoint_dir=args.checkpoint_dir,
             state_dir=args.state_dir,
             snapshot_stride=args.snapshot_stride,

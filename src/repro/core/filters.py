@@ -73,12 +73,20 @@ def drop_incomplete(lsps: Iterable[Lsp]) -> List[Lsp]:
 def intra_as(lsps: Iterable[Lsp], ip2as: Ip2AsMapper) -> List[Lsp]:
     """Filter 2: keep LSPs whose LSR addresses share one origin AS.
 
-    Survivors come back annotated with their AS (``lsp.asn``).
+    Survivors come back annotated with their AS (``lsp.asn``).  All
+    hop addresses go through one :meth:`~Ip2AsMapper.lookup_many`
+    batch, so repeated interfaces cost one radix walk per /24 instead
+    of one per hop observation.
     """
+    lsps = list(lsps)
+    flat = [address for lsp in lsps for address in lsp.addresses]
+    asns = ip2as.lookup_many(flat)
     kept: List[Lsp] = []
+    position = 0
     for lsp in lsps:
-        origins = {ip2as.lookup_single(address)
-                   for address in lsp.addresses}
+        count = len(lsp.hops)
+        origins = set(asns[position:position + count])
+        position += count
         if len(origins) != 1:
             continue
         asn = origins.pop()
@@ -90,9 +98,11 @@ def intra_as(lsps: Iterable[Lsp], ip2as: Ip2AsMapper) -> List[Lsp]:
 
 def target_as(lsps: Iterable[Lsp], ip2as: Ip2AsMapper) -> List[Lsp]:
     """Filter 3: the traceroute destination must be in a different AS."""
+    lsps = list(lsps)
+    dst_asns = ip2as.lookup_many([lsp.dst for lsp in lsps])
     return [
-        lsp for lsp in lsps
-        if ip2as.lookup_single(lsp.dst) != lsp.asn
+        lsp for lsp, dst_asn in zip(lsps, dst_asns)
+        if dst_asn != lsp.asn
     ]
 
 
@@ -104,7 +114,7 @@ def transit_diversity(lsps: Sequence[Lsp], ip2as: Ip2AsMapper
     (which later stages reuse).
     """
     iotps = group_into_iotps(
-        (lsp, ip2as.lookup_single(lsp.dst)) for lsp in lsps
+        zip(lsps, ip2as.lookup_many([lsp.dst for lsp in lsps]))
     )
     diverse_keys = {
         key for key, iotp in iotps.items() if len(iotp.dst_asns) >= 2
@@ -216,7 +226,8 @@ def run_filters(lsps: Sequence[Lsp], ip2as: Ip2AsMapper,
         iotps = grouped
     else:
         iotps = group_into_iotps(
-            (lsp, ip2as.lookup_single(lsp.dst)) for lsp in outcome.kept
+            zip(outcome.kept,
+                ip2as.lookup_many([lsp.dst for lsp in outcome.kept]))
         )
     dynamic_ases = set(outcome.dynamic_ases)
     for iotp in iotps.values():

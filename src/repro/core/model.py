@@ -13,6 +13,7 @@ and-IP branches are what LPR classifies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..net.ip import int_to_ip
@@ -49,10 +50,24 @@ class Lsp:
     dst: int
     asn: Optional[int] = None
 
-    @property
+    @cached_property
     def signature(self) -> LspSignature:
-        """Identity used for diversity and persistence comparisons."""
+        """Identity used for diversity and persistence comparisons.
+
+        Cached after first use: Persistence probes it per candidate and
+        IOTP grouping rebuilds it per observation, so one tuple per Lsp
+        saves an allocation on every later test.  (``cached_property``
+        writes straight into ``__dict__``, bypassing the frozen
+        ``__setattr__``.)
+        """
         return (self.entry, self.exit, self.hops)
+
+    def __getstate__(self):
+        # Pickle only the declared fields: the signature cache lives in
+        # the instance __dict__ and letting it leak into pickles would
+        # make checkpoint bytes depend on whether the cache had been
+        # touched before the dump (DESIGN §8 byte-identity).
+        return {name: getattr(self, name) for name in _LSP_FIELDS}
 
     @property
     def length(self) -> int:
@@ -83,6 +98,11 @@ class Lsp:
         )
         return f"[{entry}] {inner} [{exit_}]"
 
+
+# Field order matters: __getstate__ must mirror __init__'s __dict__
+# insertion order so cached and uncached instances pickle identically.
+_LSP_FIELDS = ("entry", "exit", "hops", "complete", "monitor", "dst",
+               "asn")
 
 # The key of an IOTP: (asn, ingress address, exit address).
 IotpKey = Tuple[int, int, int]

@@ -1,0 +1,36 @@
+"""The columnar analysis engine (DESIGN §12).
+
+A drop-in backend for the per-cycle analysis stage: traces are interned
+and flattened once into CSR-style int columns, then extraction, the
+five LPR filters, IOTP grouping and Algorithm-1 classification run as
+array kernels, decoding back to ``Lsp``/``Iotp`` dataclasses only at
+the artifact boundary.  Selected with ``StudySpec.engine="columnar"``
+(CLI: ``repro study --engine columnar``) and proven byte-identical to
+the object pipeline by the differential matrix's ``columnar`` configs.
+"""
+
+from .encode import EncodedSnapshot, encode_snapshot
+from .intern import Interner, NO_VALUE
+from .kernels import (
+    LspColumns,
+    analyze_snapshots,
+    classify_columns,
+    dataset_columns,
+    decode_iotps,
+    extract_columns,
+    filter_columns,
+)
+
+__all__ = [
+    "EncodedSnapshot",
+    "encode_snapshot",
+    "Interner",
+    "NO_VALUE",
+    "LspColumns",
+    "analyze_snapshots",
+    "classify_columns",
+    "dataset_columns",
+    "decode_iotps",
+    "extract_columns",
+    "filter_columns",
+]

@@ -1,0 +1,104 @@
+"""Dense integer interning for the columnar analysis engine.
+
+Every value the kernels index on — interface addresses, monitor names,
+label runs, LSP signatures — is mapped to a dense int id the first time
+it is seen; ids are handed out in first-seen order, so the mapping is a
+pure function of the value stream and two runs over the same traces
+produce identical id spaces (the property the differential oracle
+leans on).  The reverse tables keep the *original* objects, so decoding
+back to dataclasses at the artifact boundary re-uses the exact objects
+the traces carried — object sharing, and hence pickle bytes, stay a
+pure function of the trace values just like the object engine's
+``_canonicalize`` interning (DESIGN §8).
+
+Id spaces are per-:class:`Interner`, and one interner spans all of a
+cycle's snapshots: the primary and its follow-ups share address and
+signature ids, which is what makes the persistence kernel a plain
+int-set membership test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+NO_VALUE = -1
+"""Sentinel id for "no address here": an anonymous hop inside the
+columns, or a missing entry/exit endpoint.  Decodes to ``None``."""
+
+# One labeled hop in id space: (address id, label value).
+RunHop = Tuple[int, int]
+
+
+class Interner:
+    """First-seen dense ids for addresses, monitors, runs, signatures."""
+
+    __slots__ = ("_addresses", "address_values", "_monitors",
+                 "monitor_values", "_runs", "run_values", "_signatures",
+                 "signature_values")
+
+    def __init__(self) -> None:
+        self._addresses: Dict[int, int] = {}
+        self.address_values: List[int] = []
+        self._monitors: Dict[str, int] = {}
+        self.monitor_values: List[str] = []
+        self._runs: Dict[Tuple[RunHop, ...], int] = {}
+        self.run_values: List[Tuple[RunHop, ...]] = []
+        self._signatures: Dict[Tuple[int, int, int], int] = {}
+        self.signature_values: List[Tuple[int, int, int]] = []
+
+    def address_id(self, value: int) -> int:
+        """The dense id of one interface address (stable per value)."""
+        table = self._addresses
+        ident = table.get(value)
+        if ident is None:
+            ident = len(table)
+            table[value] = ident
+            self.address_values.append(value)
+        return ident
+
+    def monitor_id(self, name: str) -> int:
+        """The dense id of one vantage-point name."""
+        table = self._monitors
+        ident = table.get(name)
+        if ident is None:
+            ident = len(table)
+            table[name] = ident
+            self.monitor_values.append(name)
+        return ident
+
+    def run_id(self, hops: Tuple[RunHop, ...]) -> int:
+        """The dense id of one labeled run, given in id space.
+
+        ``hops`` is the tuple of ``(address id, label value)`` pairs of
+        the run's explicit hops, in TTL order — the id-space image of
+        ``Lsp.hops``.
+        """
+        table = self._runs
+        ident = table.get(hops)
+        if ident is None:
+            ident = len(table)
+            table[hops] = ident
+            self.run_values.append(hops)
+        return ident
+
+    def signature_id(self, entry: int, exit_: int, run: int) -> int:
+        """The dense id of one LSP signature ``(entry, exit, run)``.
+
+        Entry/exit are address ids (or :data:`NO_VALUE`), ``run`` a run
+        id; two LSPs share a signature id exactly when their value-space
+        ``Lsp.signature`` tuples are equal.
+        """
+        key = (entry, exit_, run)
+        table = self._signatures
+        ident = table.get(key)
+        if ident is None:
+            ident = len(table)
+            table[key] = ident
+            self.signature_values.append(key)
+        return ident
+
+    def __repr__(self) -> str:
+        return (f"Interner(addresses={len(self.address_values)}, "
+                f"monitors={len(self.monitor_values)}, "
+                f"runs={len(self.run_values)}, "
+                f"signatures={len(self.signature_values)})")

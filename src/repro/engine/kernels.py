@@ -1,0 +1,618 @@
+"""Columnar LPR kernels: extract → filter → classify on int columns.
+
+Each kernel is the array form of one object-pipeline stage and is held
+to *byte-identity* with it (proven per run by the differential matrix,
+DESIGN §11): identical ``FilterStats``, identical IOTP dicts and
+verdicts, identical counter totals.  The correspondence, stage by
+stage:
+
+==================  ====================================================
+object stage        columnar kernel
+==================  ====================================================
+``extract_all``     :func:`extract_columns` — the same maximal-run scan
+                    over the CSR hop arrays, emitting id columns
+                    instead of ``Lsp`` objects
+``drop_incomplete`` row selection on the ``complete`` flag column
+``intra_as``        per-*run* origin resolution, memoised by run id —
+                    every LSP sharing a label run shares the verdict
+``target_as``       one indexed gather from the cycle's address→AS
+                    table
+``transit_``        int-keyed grouping ``(asn, entry id, exit id)``
+``diversity``       with destination-AS sets
+``persistence``     int-set membership of signature ids against the
+                    follow-up snapshots' signature sets, with the same
+                    sorted-AS re-injection sweep and dynamic tagging
+``classify``        Algorithm 1 on run-id memo tables (lengths, address
+                    sets, per-address label sets), iterating groups in
+                    sorted *value*-key order
+==================  ====================================================
+
+Only the survivors of the filter chain are decoded back into
+``Lsp``/``Iotp`` dataclasses — through :func:`group_into_iotps` itself,
+with a first-seen value intern mirroring the object engine's
+``_canonicalize`` — so ``CycleResult`` artifacts and checkpoint pickle
+bytes stay a pure function of the trace values (DESIGN §8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.classification import (
+    ClassificationResult,
+    IotpVerdict,
+    MonoFecSubclass,
+    TunnelClass,
+    _IOTPS_CLASSIFIED,
+)
+from ..core.extraction import _LSPS_EXTRACTED, _TRACES_SCANNED
+from ..core.filters import _ASES_REINJECTED, _LSPS_DROPPED, FilterStats
+from ..core.model import Iotp, IotpKey, Lsp, group_into_iotps
+from ..core.pipeline import DatasetStats
+from ..net.ip2as import Ip2AsMapper, UNKNOWN_AS
+from ..obs import emit, get_logger, get_registry, get_tracer, span
+from ..traces import Trace
+from .encode import EncodedSnapshot, encode_snapshot
+from .intern import Interner, NO_VALUE
+
+_log = get_logger(__name__)
+_KERNEL_SECONDS = get_registry().counter(
+    "engine_kernel_seconds",
+    "Wall time spent inside columnar kernels (0 under the null clock)")
+
+# An IOTP key in id space: (asn, entry address id, exit address id).
+GroupKey = Tuple[int, int, int]
+
+_MIXED = -2
+"""Run-origin memo value for runs the IntraAS filter drops: several
+origin ASes, or a single origin that is :data:`UNKNOWN_AS`."""
+
+
+class LspColumns:
+    """Extracted LSP observations as parallel id columns.
+
+    One row per labeled run, in trace order — exactly the rows
+    ``extract_all`` would materialise as ``Lsp`` objects.
+    """
+
+    __slots__ = ("count", "entry", "exit", "run", "signature",
+                 "complete", "monitor", "dst")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.entry: List[int] = []
+        self.exit: List[int] = []
+        self.run: List[int] = []
+        self.signature: List[int] = []
+        self.complete = bytearray()
+        self.monitor: List[int] = []
+        self.dst: List[int] = []
+
+
+def extract_columns(encoded: EncodedSnapshot) -> LspColumns:
+    """The maximal-run scan of ``extract_lsps``, over CSR columns.
+
+    Replicates the object scanner hop for hop: runs absorb interior
+    anonymous hops only when labels resume afterwards (counted as
+    holes), the hop before/after the run provides entry/exit unless
+    anonymous or absent, and ``complete`` requires zero holes plus both
+    endpoints.  Increments the extraction counters exactly like
+    ``extract_all``.
+    """
+    interner = encoded.interner
+    run_id = interner.run_id
+    signature_id = interner.signature_id
+    offsets = encoded.offsets
+    hop_address = encoded.hop_address
+    hop_explicit = encoded.hop_explicit
+    hop_label = encoded.hop_label
+    monitors = encoded.monitors
+    dsts = encoded.dsts
+
+    columns = LspColumns()
+    entry_col = columns.entry
+    exit_col = columns.exit
+    run_col = columns.run
+    signature_col = columns.signature
+    complete_col = columns.complete
+    monitor_col = columns.monitor
+    dst_col = columns.dst
+    complete_count = 0
+
+    find_explicit = hop_explicit.find
+    for trace_index in range(encoded.trace_count):
+        start = offsets[trace_index]
+        end = offsets[trace_index + 1]
+        # Jump between explicit hops at C speed: unlabeled stretches
+        # (the vast majority of rows) never enter the Python loop.
+        index = find_explicit(1, start, end)
+        while index >= 0:
+            run_start = index
+            run_end = index
+            probe = index + 1
+            holes = 0
+            pending = 0
+            pair_list = [(hop_address[index], hop_label[index])]
+            while probe < end:
+                if hop_explicit[probe]:
+                    run_end = probe
+                    holes += pending
+                    pending = 0
+                    pair_list.append(
+                        (hop_address[probe], hop_label[probe]))
+                    probe += 1
+                elif hop_address[probe] == NO_VALUE:
+                    # Possibly an LSR that did not reply; absorb it
+                    # only if labels resume afterwards.
+                    pending += 1
+                    probe += 1
+                else:
+                    break
+
+            pairs = tuple(pair_list)
+            entry = (hop_address[run_start - 1]
+                     if run_start > start else NO_VALUE)
+            exit_ = (hop_address[run_end + 1]
+                     if run_end + 1 < end else NO_VALUE)
+            complete = (holes == 0 and entry != NO_VALUE
+                        and exit_ != NO_VALUE)
+
+            rid = run_id(pairs)
+            entry_col.append(entry)
+            exit_col.append(exit_)
+            run_col.append(rid)
+            signature_col.append(signature_id(entry, exit_, rid))
+            complete_col.append(1 if complete else 0)
+            monitor_col.append(monitors[trace_index])
+            dst_col.append(dsts[trace_index])
+            complete_count += complete
+
+            index = find_explicit(1, run_end + 1 + pending, end)
+
+    columns.count = len(run_col)
+    _TRACES_SCANNED.inc(encoded.trace_count)
+    _LSPS_EXTRACTED.inc(complete_count, complete="true")
+    _LSPS_EXTRACTED.inc(columns.count - complete_count,
+                        complete="false")
+    return columns
+
+
+def _resolve_run_asns(columns: LspColumns, rows: Sequence[int],
+                      addr_asn: Sequence[int],
+                      interner: Interner) -> Dict[int, int]:
+    """IntraAS, per distinct run: one origin AS or a drop marker.
+
+    Every LSP sharing a label run shares its IntraAS verdict, so the
+    per-hop origin scan runs once per *run id*, not once per LSP row.
+    """
+    run_values = interner.run_values
+    run_col = columns.run
+    verdicts: Dict[int, int] = {}
+    for row in rows:
+        rid = run_col[row]
+        if rid in verdicts:
+            continue
+        origins = set()
+        for aid, _label in run_values[rid]:
+            if aid < 0:
+                # A labeled anonymous hop: the object engine's lookup
+                # crashes on the None address, and no real trace can
+                # produce one (no reply means nothing quoted a stack).
+                raise TypeError(
+                    "anonymous hop inside a complete labeled run")
+            origins.add(addr_asn[aid])
+        if len(origins) == 1:
+            asn = origins.pop()
+            verdicts[rid] = _MIXED if asn == UNKNOWN_AS else asn
+        else:
+            verdicts[rid] = _MIXED
+    return verdicts
+
+
+def filter_columns(columns: LspColumns,
+                   follow_up_signatures: Sequence[Set[int]],
+                   addr_asn: Sequence[int], interner: Interner,
+                   reinject_threshold: float
+                   ) -> Tuple[List[int], List[int],
+                              Dict[GroupKey, List[int]], FilterStats]:
+    """The five-filter chain as row selections over the columns.
+
+    Returns ``(surviving rows, their ASNs, final id-space grouping,
+    stats)``; the rows come back in the exact order the object
+    engine's ``run_filters`` would list its surviving ``Lsp`` objects,
+    and the grouping dict in the insertion order ``group_into_iotps``
+    would produce, so decoding preserves artifact bytes.
+    """
+    stats = FilterStats(extracted=columns.count)
+    complete_col = columns.complete
+    run_col = columns.run
+    signature_col = columns.signature
+    entry_col = columns.entry
+    exit_col = columns.exit
+    dst_col = columns.dst
+
+    with span("filters.incomplete"):
+        rows = [row for row in range(columns.count)
+                if complete_col[row]]
+        stats.after_incomplete = len(rows)
+        _LSPS_DROPPED.inc(stats.extracted - stats.after_incomplete,
+                          filter="incomplete")
+
+    with span("filters.intra_as"):
+        run_asn = _resolve_run_asns(columns, rows, addr_asn, interner)
+        row_asn: Dict[int, int] = {}
+        mapped: List[int] = []
+        for row in rows:
+            asn = run_asn[run_col[row]]
+            if asn == _MIXED:
+                continue
+            row_asn[row] = asn
+            mapped.append(row)
+        stats.after_intra_as = len(mapped)
+        _LSPS_DROPPED.inc(stats.after_incomplete - stats.after_intra_as,
+                          filter="intra_as")
+
+    with span("filters.target_as"):
+        transit = [row for row in mapped
+                   if addr_asn[dst_col[row]] != row_asn[row]]
+        stats.after_target_as = len(transit)
+        _LSPS_DROPPED.inc(stats.after_intra_as - stats.after_target_as,
+                          filter="target_as")
+
+    with span("filters.transit_diversity"):
+        group_rows: Dict[GroupKey, List[int]] = {}
+        group_dst_asns: Dict[GroupKey, Set[int]] = {}
+        for row in transit:
+            key = (row_asn[row], entry_col[row], exit_col[row])
+            bucket = group_rows.get(key)
+            if bucket is None:
+                group_rows[key] = [row]
+                group_dst_asns[key] = {addr_asn[dst_col[row]]}
+            else:
+                bucket.append(row)
+                group_dst_asns[key].add(addr_asn[dst_col[row]])
+        diverse_keys = {key for key, dst_asns in group_dst_asns.items()
+                        if len(dst_asns) >= 2}
+        diverse = [row for row in transit
+                   if (row_asn[row], entry_col[row],
+                       exit_col[row]) in diverse_keys]
+        stats.after_transit_diversity = len(diverse)
+        _LSPS_DROPPED.inc(
+            stats.after_target_as - stats.after_transit_diversity,
+            filter="transit_diversity")
+
+    with span("filters.persistence"):
+        if not follow_up_signatures:
+            persisted = diverse
+            dynamic: List[int] = []
+        else:
+            union: Set[int] = set()
+            for signatures in follow_up_signatures:
+                union |= signatures
+            by_as: Dict[int, List[int]] = {}
+            for row in diverse:
+                by_as.setdefault(row_asn[row], []).append(row)
+            persisted = []
+            dynamic = []
+            for asn in sorted(by_as):
+                candidates = by_as[asn]
+                survivors = [row for row in candidates
+                             if signature_col[row] in union]
+                if (len(survivors)
+                        < reinject_threshold * len(candidates)):
+                    persisted.extend(candidates)
+                    dynamic.append(asn)
+                else:
+                    persisted.extend(survivors)
+        stats.after_persistence = len(persisted)
+        stats.reinjected_ases = dynamic
+        _LSPS_DROPPED.inc(
+            stats.after_transit_diversity - stats.after_persistence,
+            filter="persistence")
+        _ASES_REINJECTED.inc(len(dynamic))
+
+    if len(persisted) == len(diverse):
+        # Persistence dropped nothing: the TransitDiversity grouping of
+        # the kept rows, restricted to diverse keys, is already the
+        # final grouping in the right insertion order.
+        final_rows = diverse
+        final_groups = {key: bucket
+                        for key, bucket in group_rows.items()
+                        if key in diverse_keys}
+    else:
+        final_rows = persisted
+        final_groups = {}
+        for row in persisted:
+            key = (row_asn[row], entry_col[row], exit_col[row])
+            final_groups.setdefault(key, []).append(row)
+
+    row_asns = [row_asn[row] for row in final_rows]
+    _log.debug("engine.filters.done", extracted=stats.extracted,
+               survivors=stats.after_persistence,
+               reinjected=len(stats.reinjected_ases))
+    return final_rows, row_asns, final_groups, stats
+
+
+def decode_iotps(columns: LspColumns, rows: Sequence[int],
+                 row_asns: Sequence[int], addr_asn: Sequence[int],
+                 interner: Interner,
+                 dynamic_ases: Sequence[int]) -> Dict[IotpKey, Iotp]:
+    """Surviving rows back to ``Iotp`` dataclasses, bytes preserved.
+
+    Values are re-interned first-seen exactly like the object engine's
+    ``_canonicalize`` (and the ``Lsp`` per distinct signature is built
+    once — within an IOTP only the first observation per signature is
+    retained anyway), then the rows run through the real
+    :func:`group_into_iotps` so dict/set construction order matches the
+    object pipeline's survivor order.
+    """
+    table: dict = {}
+
+    def canon(value):
+        return table.setdefault(value, value)
+
+    address_values = interner.address_values
+    monitor_values = interner.monitor_values
+    run_values = interner.run_values
+    lsp_by_signature: Dict[int, Lsp] = {}
+
+    pairs = []
+    for row, asn in zip(rows, row_asns):
+        sid = columns.signature[row]
+        lsp = lsp_by_signature.get(sid)
+        if lsp is None:
+            hops = canon(tuple(
+                canon((canon(address_values[aid]), canon(label)))
+                for aid, label in run_values[columns.run[row]]
+            ))
+            lsp = Lsp(
+                entry=canon(address_values[columns.entry[row]]),
+                exit=canon(address_values[columns.exit[row]]),
+                hops=hops,
+                complete=True,
+                monitor=canon(monitor_values[columns.monitor[row]]),
+                dst=canon(address_values[columns.dst[row]]),
+                asn=asn,
+            )
+            lsp_by_signature[sid] = lsp
+        pairs.append((lsp, addr_asn[columns.dst[row]]))
+
+    iotps = group_into_iotps(pairs)
+    dynamic = set(dynamic_ases)
+    for iotp in iotps.values():
+        if iotp.asn in dynamic:
+            iotp.dynamic = True
+    return iotps
+
+
+def classify_columns(final_groups: Dict[GroupKey, List[int]],
+                     columns: LspColumns, interner: Interner,
+                     dynamic_ases: Sequence[int],
+                     php_heuristic: bool) -> ClassificationResult:
+    """Algorithm 1 over id columns, with per-run memo tables.
+
+    Iterates the groups in sorted *value*-key order — the order
+    ``classify`` walks ``sorted(iotps)`` — so verdict insertion order
+    and per-class counter totals match the object stage.  Run-scoped
+    facts (length, address set, per-address label sets, label
+    sequence) are memoised once per run id across all groups, where
+    the object engine recomputes them per IOTP.
+    """
+    address_values = interner.address_values
+    run_values = interner.run_values
+    signature_values = interner.signature_values
+    signature_col = columns.signature
+    dynamic = set(dynamic_ases)
+
+    run_length: Dict[int, int] = {}
+    run_addresses: Dict[int, Set[int]] = {}
+    run_labels_by_address: Dict[int, Dict[int, Set[int]]] = {}
+    run_sequence: Dict[int, Tuple[int, ...]] = {}
+
+    def run_facts(rid: int) -> None:
+        if rid in run_length:
+            return
+        pairs = run_values[rid]
+        run_length[rid] = len(pairs)
+        run_addresses[rid] = {aid for aid, _label in pairs}
+        by_address: Dict[int, Set[int]] = {}
+        for aid, label in pairs:
+            by_address.setdefault(aid, set()).add(label)
+        run_labels_by_address[rid] = by_address
+        run_sequence[rid] = tuple(label for _aid, label in pairs)
+
+    result = ClassificationResult()
+    ordered = sorted(
+        final_groups,
+        key=lambda key: (key[0], address_values[key[1]],
+                         address_values[key[2]]))
+    with span("classification.classify", iotps=len(final_groups)):
+        for key in ordered:
+            asn, entry_aid, exit_aid = key
+            # Within one group all signatures share entry/exit, so the
+            # distinct signatures differ exactly by their run ids.
+            rids = list(dict.fromkeys(
+                signature_values[signature_col[row]][2]
+                for row in final_groups[key]))
+            for rid in rids:
+                run_facts(rid)
+            lengths = [run_length[rid] for rid in rids]
+            verdict_base = dict(
+                key=(asn, address_values[entry_aid],
+                     address_values[exit_aid]),
+                dynamic=asn in dynamic,
+                width=len(rids),
+                length=max(lengths),
+                symmetry=max(lengths) - min(lengths),
+            )
+
+            if len(rids) == 1:
+                verdict = IotpVerdict(
+                    tunnel_class=TunnelClass.MONO_LSP, **verdict_base)
+            else:
+                counts: Dict[int, int] = {}
+                for rid in rids:
+                    for aid in run_addresses[rid]:
+                        counts[aid] = counts.get(aid, 0) + 1
+                common = [aid for aid, count in counts.items()
+                          if count >= 2]
+                if not common:
+                    if php_heuristic:
+                        last_labels = {run_values[rid][-1][1]
+                                       for rid in rids
+                                       if run_values[rid]}
+                        verdict = IotpVerdict(
+                            tunnel_class=(TunnelClass.MULTI_FEC
+                                          if len(last_labels) > 1
+                                          else TunnelClass.MONO_FEC),
+                            subclass=None, **verdict_base)
+                    else:
+                        verdict = IotpVerdict(
+                            tunnel_class=TunnelClass.UNCLASSIFIED,
+                            **verdict_base)
+                elif any(
+                    len(set().union(*(
+                        run_labels_by_address[rid].get(aid, ())
+                        for rid in rids))) > 1
+                    for aid in common
+                ):
+                    verdict = IotpVerdict(
+                        tunnel_class=TunnelClass.MULTI_FEC,
+                        **verdict_base)
+                else:
+                    sequences = {run_sequence[rid] for rid in rids}
+                    verdict = IotpVerdict(
+                        tunnel_class=TunnelClass.MONO_FEC,
+                        subclass=(MonoFecSubclass.PARALLEL_LINKS
+                                  if len(sequences) == 1
+                                  else MonoFecSubclass.ROUTERS_DISJOINT),
+                        **verdict_base)
+
+            result.add(verdict)
+            _IOTPS_CLASSIFIED.inc(
+                tunnel_class=verdict.tunnel_class.value)
+    return result
+
+
+def dataset_columns(encoded: EncodedSnapshot,
+                    addr_asn: Sequence[int]) -> DatasetStats:
+    """The Fig 5 raw statistics from the primary snapshot's columns.
+
+    An address counts as MPLS on *any* quoted stack (``labeled``),
+    while a trace counts as tunnel-crossing only on explicit evidence
+    — the same two thresholds ``dataset_stats`` and
+    ``traces_with_tunnels`` apply.
+    """
+    offsets = encoded.offsets
+    hop_address = encoded.hop_address
+    hop_explicit = encoded.hop_explicit
+    hop_labeled = encoded.hop_labeled
+
+    # Distinct addresses in first-seen hop order (dict.fromkeys, one
+    # C-speed pass), MPLS flags from the labeled positions only (the
+    # find chain skips the unlabeled majority), and per-trace tunnel
+    # evidence as one find per row range.
+    seen = dict.fromkeys(hop_address)
+    seen.pop(NO_VALUE, None)
+
+    mpls_aids: Set[int] = set()
+    find_labeled = hop_labeled.find
+    position = find_labeled(1)
+    while position >= 0:
+        mpls_aids.add(hop_address[position])
+        position = find_labeled(1, position + 1)
+
+    find_explicit = hop_explicit.find
+    traces_with_tunnels = sum(
+        1 for trace_index in range(encoded.trace_count)
+        if find_explicit(1, offsets[trace_index],
+                         offsets[trace_index + 1]) >= 0)
+
+    mpls_by_as: Dict[int, int] = {}
+    non_mpls_by_as: Dict[int, int] = {}
+    mpls_addresses = 0
+    for aid in seen:
+        asn = addr_asn[aid]
+        if aid in mpls_aids:
+            mpls_by_as[asn] = mpls_by_as.get(asn, 0) + 1
+            mpls_addresses += 1
+        else:
+            non_mpls_by_as[asn] = non_mpls_by_as.get(asn, 0) + 1
+
+    return DatasetStats(
+        trace_count=encoded.trace_count,
+        traces_with_tunnels=traces_with_tunnels,
+        mpls_addresses=mpls_addresses,
+        non_mpls_addresses=len(seen) - mpls_addresses,
+        mpls_by_as=mpls_by_as,
+        non_mpls_by_as=non_mpls_by_as,
+    )
+
+
+def analyze_snapshots(cycle: int,
+                      snapshots: Sequence[Sequence[Trace]],
+                      ip2as: Ip2AsMapper, *, persistence_window: int,
+                      reinject_threshold: float, php_heuristic: bool
+                      ) -> Tuple[DatasetStats, FilterStats,
+                                 Dict[IotpKey, Iotp],
+                                 ClassificationResult]:
+    """One cycle's full analysis through the columnar engine.
+
+    The drop-in replacement for the object engine's extract → filter →
+    dataset-stats → classify sequence inside ``pipeline.cycle``: same
+    span names, same counter totals, identical artifacts.
+    """
+    clock = get_tracer().clock
+    started = clock.now()
+
+    interner = Interner()
+    with span("pipeline.extract"):
+        with span("engine.encode"):
+            primary_encoded = encode_snapshot(snapshots[0], interner)
+        with span("engine.extract"):
+            primary = extract_columns(primary_encoded)
+
+    with span("pipeline.follow_ups"):
+        follow_up_signatures: List[Set[int]] = []
+        for snapshot in snapshots[1:1 + persistence_window]:
+            with span("engine.encode"):
+                encoded = encode_snapshot(snapshot, interner)
+            with span("engine.extract"):
+                columns = extract_columns(encoded)
+            follow_up_signatures.append({
+                columns.signature[row]
+                for row in range(columns.count)
+                if columns.complete[row]
+            })
+
+    # The interner's address space is complete only after every
+    # snapshot encoded; one batched lookup then serves all kernels.
+    addr_asn = ip2as.lookup_many(interner.address_values)
+
+    with span("pipeline.filters"):
+        rows, row_asns, final_groups, filter_stats = filter_columns(
+            primary, follow_up_signatures, addr_asn, interner,
+            reinject_threshold)
+        iotps = decode_iotps(primary, rows, row_asns, addr_asn,
+                             interner, filter_stats.reinjected_ases)
+
+    with span("pipeline.dataset_stats"):
+        stats = dataset_columns(primary_encoded, addr_asn)
+
+    with span("pipeline.classify"):
+        classification = classify_columns(
+            final_groups, primary, interner,
+            filter_stats.reinjected_ases, php_heuristic)
+
+    elapsed = clock.now() - started
+    _KERNEL_SECONDS.inc(elapsed)
+    emit("engine.encode", cycle=cycle,
+         snapshots=1 + len(follow_up_signatures),
+         addresses=len(interner.address_values),
+         runs=len(interner.run_values),
+         signatures=len(interner.signature_values))
+    emit("engine.kernel", cycle=cycle,
+         extracted=filter_stats.extracted,
+         survivors=filter_stats.after_persistence,
+         iotps=len(iotps), seconds=elapsed)
+    return stats, filter_stats, iotps, classification

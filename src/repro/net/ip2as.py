@@ -13,8 +13,10 @@ keeping the first (lowest) origin.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, TextIO, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, \
+    Union
 
+from ..obs import get_registry
 from .ip import Prefix, ip_to_int
 from .radix import RadixTrie
 
@@ -22,12 +24,26 @@ Origin = Union[int, Tuple[int, ...]]
 
 UNKNOWN_AS = -1
 
+_LOOKUP_HITS = get_registry().counter(
+    "ip2as_lookup_cache_hits_total",
+    "Batched IP2AS lookups answered by the per-call prefix memo")
+_LOOKUP_MISSES = get_registry().counter(
+    "ip2as_lookup_cache_misses_total",
+    "Batched IP2AS lookups that walked the radix trie")
+
+_MEMO_PREFIX_LENGTH = 24
+"""Granularity of the :meth:`Ip2AsMapper.lookup_many` memo: one trie
+walk answers a whole /24, the granularity of pfx2as destination
+blocks.  Exact only while no table prefix is longer than /24, so the
+memo degrades to per-address keys on finer tables."""
+
 
 class Ip2AsMapper:
     """Longest-prefix-match mapping from IPv4 address to origin AS."""
 
     def __init__(self):
         self._trie = RadixTrie()
+        self._max_length = 0
 
     def __len__(self) -> int:
         return len(self._trie)
@@ -38,6 +54,8 @@ class Ip2AsMapper:
         Adding a second distinct origin for the same prefix turns the entry
         into a MOAS tuple.
         """
+        if prefix.length > self._max_length:
+            self._max_length = prefix.length
         existing = self._trie.lookup_exact(prefix)
         if existing is None:
             self._trie.insert(prefix, origin)
@@ -62,6 +80,42 @@ class Ip2AsMapper:
         if isinstance(origin, tuple):
             return min(origin)
         return origin
+
+    def lookup_many(self, addresses: Iterable[int]) -> List[int]:
+        """Batched :meth:`lookup_single`, memoised within the call.
+
+        Traceroute hops and destinations repeat heavily inside one
+        cycle and cluster in /24s, so one radix walk usually answers a
+        whole block of queries.  The memo is keyed per /24 while the
+        table holds no longer prefix (:data:`_MEMO_PREFIX_LENGTH` —
+        always true for pfx2as-style tables); a finer table drops the
+        memo to exact-address keys instead of risking wrong answers.
+        Hit/miss totals surface as
+        ``ip2as_lookup_cache_{hits,misses}_total``.
+        """
+        shift = (32 - _MEMO_PREFIX_LENGTH
+                 if self._max_length <= _MEMO_PREFIX_LENGTH else 0)
+        memo: dict = {}
+        memo_get = memo.get
+        lookup = self.lookup_single
+        out: List[int] = []
+        append = out.append
+        hits = misses = 0
+        for address in addresses:
+            key = address >> shift
+            asn = memo_get(key)
+            if asn is None:
+                asn = lookup(address)
+                memo[key] = asn
+                misses += 1
+            else:
+                hits += 1
+            append(asn)
+        if hits:
+            _LOOKUP_HITS.inc(hits)
+        if misses:
+            _LOOKUP_MISSES.inc(misses)
+        return out
 
     def lookup_str(self, address: str) -> Optional[Origin]:
         """Lookup on a dotted-quad string (convenience)."""

@@ -43,7 +43,7 @@ from typing import Optional, Tuple
 
 from ..obs import emit, get_logger, get_registry
 
-CHECKPOINT_VERSION = 4
+CHECKPOINT_VERSION = 5
 """Bumped whenever the on-disk payload shape changes; old files are
 then rejected (reason ``version``) instead of mis-read.  Version 2:
 pair-block results (raw snapshots + block key) and layout-dependent
@@ -53,14 +53,20 @@ observability, not a campaign result, and its presence would make
 profiled and unprofiled checkpoints diverge.  Version 4:
 ``replayed_cycles`` is normalised to 0 on save — warm-started workers
 (:mod:`repro.par.statestore`) replay fewer cycles than cold ones, and
-that schedule detail must not leak into checkpoint bytes."""
+that schedule detail must not leak into checkpoint bytes.  Version 5:
+``StudySpec`` grew the ``engine`` field (the spec hash covers it) and
+the stripped prefixes gained the engine/IP2AS-memo counters."""
 
 LAYOUT_DEPENDENT_PREFIXES = (
     "route_cache_", "hop_cache_", "quoted_stack_cache_",
-    "state_snapshot_")
+    "state_snapshot_", "engine_", "ip2as_lookup_cache_")
 """Metric-name prefixes whose values depend on how the probe stream was
 split over caches — or, for ``state_snapshot_*``, on how warm the
-state store happened to be — stripped from persisted deltas."""
+state store happened to be — stripped from persisted deltas.  The
+``engine_*`` and ``ip2as_lookup_cache_*`` families count *how* a cycle
+was computed (columnar encoding rows, kernel wall time, batched-lookup
+memo hits), which differs between byte-identical engines, so they are
+execution detail under the same rule."""
 
 
 def strip_layout_dependent(delta: dict) -> dict:

@@ -136,6 +136,12 @@ class StudySpec:
     so flipping this never changes results — which is precisely what
     the differential oracle (:mod:`repro.verify`) asserts by running
     the same campaign with and without them."""
+    engine: str = "object"
+    """Analysis backend: ``"object"`` (the classic per-``Lsp``
+    pipeline) or ``"columnar"`` (the interned kernel engine of
+    :mod:`repro.engine`, DESIGN §12).  Like ``memoize``, flipping it
+    never changes results — the differential matrix's ``columnar``
+    configs assert exactly that."""
 
 
 def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
@@ -150,6 +156,7 @@ def build_study(spec: StudySpec) -> Tuple[ArkSimulator, LprPipeline]:
         persistence_window=spec.persistence_window,
         reinject_threshold=spec.reinject_threshold,
         php_heuristic=spec.php_heuristic,
+        engine=spec.engine,
     )
     return simulator, pipeline
 

@@ -137,3 +137,19 @@ class TestExtraction:
         assert annotated.asn == 65001
         assert lsp.asn is None  # original untouched
         assert annotated.signature == lsp.signature
+
+
+class TestSignatureCache:
+    def test_pickle_bytes_independent_of_cache_state(self):
+        import pickle
+
+        t = trace(hop(1, 10), hop(2, 20, label=100), hop(3, 30),
+                  hop(4, 99))
+        cold = extract_lsps(t)[0]
+        warm = extract_lsps(t)[0]
+        untouched = pickle.dumps(cold)
+        signature = warm.signature      # populate the cache
+        assert warm.signature is signature  # cached, not rebuilt
+        assert pickle.dumps(warm) == untouched
+        restored = pickle.loads(pickle.dumps(warm))
+        assert restored.signature == signature

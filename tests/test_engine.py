@@ -1,0 +1,280 @@
+"""Columnar engine tests (DESIGN §12).
+
+Three layers of defence around the byte-identity contract:
+
+* unit tests for the interner (dense first-seen ids, round-trip) and
+  the CSR encoder's edge cases (empty cycle, single-hop trace,
+  anonymous hops, opaque vs explicit stacks);
+* a hypothesis property: random trace batches — anonymous holes,
+  opaque hops, label churn across follow-up snapshots — must produce
+  identical ``FilterStats``, IOTP keys, verdicts and dynamic-AS tags
+  through both engines;
+* the oracle drill: a fault injected into the columnar kernel only
+  (a skewed persistence threshold) must be *caught* by the
+  differential matrix and *shrunk* to a <= 2-cycle reproduction.
+"""
+
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import ENGINES, LprPipeline
+from repro.engine import Interner, NO_VALUE, encode_snapshot
+from repro.engine import kernels
+from repro.mpls.lse import LabelStackEntry
+from repro.net.ip import Prefix
+from repro.net.ip2as import Ip2AsMapper
+from repro.par import StudySpec
+from repro.traces import StopReason, Trace, TraceHop
+from repro.verify.differential import (
+    canonical_cycle,
+    default_matrix,
+    run_matrix,
+)
+
+
+def make_trace(hops, monitor="m1", dst=0x0A01FF01):
+    return Trace(monitor=monitor, src=1, dst=dst, timestamp=0.0,
+                 stop_reason=StopReason.COMPLETED, hops=list(hops))
+
+
+def plain(ttl, address):
+    return TraceHop(probe_ttl=ttl, address=address, rtt_ms=1.0)
+
+
+def anonymous(ttl):
+    return TraceHop(probe_ttl=ttl, address=None)
+
+
+def labeled(ttl, address, label, lse_ttl=1):
+    stack = (LabelStackEntry(label, bottom=True, ttl=lse_ttl),)
+    return TraceHop(probe_ttl=ttl, address=address, rtt_ms=1.0,
+                    quoted_stack=stack)
+
+
+class TestInterner:
+    def test_ids_are_dense_first_seen(self):
+        interner = Interner()
+        assert interner.address_id(0x0A000001) == 0
+        assert interner.address_id(0x0A000002) == 1
+        assert interner.address_id(0x0A000001) == 0
+        assert interner.monitor_id("ams") == 0
+        assert interner.monitor_id("sjc") == 1
+        assert interner.monitor_id("ams") == 0
+
+    def test_round_trip_through_value_tables(self):
+        interner = Interner()
+        run = ((interner.address_id(7), 100),
+               (interner.address_id(8), 200))
+        rid = interner.run_id(run)
+        sid = interner.signature_id(0, 1, rid)
+        assert interner.run_values[rid] == run
+        assert interner.signature_values[sid] == (0, 1, rid)
+        assert interner.address_values[0] == 7
+        assert interner.run_id(run) == rid
+        assert interner.signature_id(0, 1, rid) == sid
+
+    def test_distinct_signatures_get_distinct_ids(self):
+        interner = Interner()
+        rid = interner.run_id(((0, 100),))
+        assert interner.signature_id(1, 2, rid) != \
+            interner.signature_id(1, 3, rid)
+
+
+class TestEncoder:
+    def test_empty_cycle(self):
+        encoded = encode_snapshot([], Interner())
+        assert encoded.trace_count == 0
+        assert encoded.offsets == [0]
+        assert encoded.hop_count == 0
+        assert encoded.monitors == []
+        assert encoded.dsts == []
+
+    def test_single_hop_trace(self):
+        encoded = encode_snapshot([make_trace([plain(1, 42)])],
+                                  Interner())
+        assert encoded.trace_count == 1
+        assert encoded.offsets == [0, 1]
+        assert list(encoded.hop_address) == [encoded.interner
+                                             .address_id(42)]
+        assert bytes(encoded.hop_labeled) == b"\x00"
+        assert bytes(encoded.hop_explicit) == b"\x00"
+
+    def test_anonymous_hop_is_no_value(self):
+        encoded = encode_snapshot(
+            [make_trace([plain(1, 42), anonymous(2), plain(3, 43)])],
+            Interner())
+        assert encoded.hop_address[1] == NO_VALUE
+
+    def test_opaque_stack_is_labeled_but_not_explicit(self):
+        encoded = encode_snapshot(
+            [make_trace([labeled(1, 42, 300, lse_ttl=255),
+                         labeled(2, 43, 301, lse_ttl=2)])],
+            Interner())
+        assert bytes(encoded.hop_labeled) == b"\x01\x01"
+        assert bytes(encoded.hop_explicit) == b"\x00\x01"
+        assert encoded.hop_label == [300, 301]
+
+    def test_offsets_partition_the_hop_rows(self):
+        traces = [make_trace([plain(1, 1)]),
+                  make_trace([plain(1, 2), plain(2, 3)]),
+                  make_trace([])]
+        encoded = encode_snapshot(traces, Interner())
+        assert encoded.offsets == [0, 1, 3, 3]
+        assert encoded.hop_count == 3
+
+    def test_follow_up_shares_the_interner(self):
+        interner = Interner()
+        first = encode_snapshot([make_trace([plain(1, 42)])], interner)
+        second = encode_snapshot([make_trace([plain(1, 42)])], interner)
+        assert list(first.hop_address) == list(second.hop_address)
+        assert len(interner.address_values) >= 1
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            LprPipeline(Ip2AsMapper(), engine="vectorized")
+
+    def test_engines_constant_lists_both(self):
+        assert ENGINES == ("object", "columnar")
+
+    def test_spec_carries_engine(self):
+        assert StudySpec(scale=0.1, seed=1, cycles=1).engine == "object"
+        spec = StudySpec(scale=0.1, seed=1, cycles=1,
+                         engine="columnar")
+        assert spec.engine == "columnar"
+
+
+# -- property: random batches through both engines ----------------------------
+
+# Three routed /16 blocks plus deliberately unrouted space, so the
+# TargetAS / IntraAS filters exercise their UNKNOWN_AS branches.
+_BLOCKS = (0x0A010000, 0x0A020000, 0x0A030000)
+_UNROUTED = 0x0B000000
+
+
+def _mapper():
+    return Ip2AsMapper.from_pairs(
+        (Prefix(block, 16), 65001 + index)
+        for index, block in enumerate(_BLOCKS))
+
+
+@st.composite
+def addresses(draw):
+    block = draw(st.sampled_from(_BLOCKS + (_UNROUTED,)))
+    return block + draw(st.integers(min_value=1, max_value=24))
+
+
+@st.composite
+def hops(draw, ttl):
+    kind = draw(st.sampled_from(
+        ("plain", "plain", "anonymous", "explicit", "explicit",
+         "opaque")))
+    if kind == "anonymous":
+        return anonymous(ttl)
+    address = draw(addresses())
+    if kind == "plain":
+        return plain(ttl, address)
+    label = draw(st.integers(min_value=100, max_value=103))
+    lse_ttl = 255 if kind == "opaque" else draw(
+        st.integers(min_value=1, max_value=2))
+    return labeled(ttl, address, label, lse_ttl=lse_ttl)
+
+
+@st.composite
+def traces(draw):
+    length = draw(st.integers(min_value=1, max_value=8))
+    return make_trace([draw(hops(ttl)) for ttl in range(1, length + 1)],
+                      monitor=draw(st.sampled_from(("m1", "m2"))),
+                      dst=draw(addresses()))
+
+
+@st.composite
+def cycles(draw):
+    snapshot_count = draw(st.integers(min_value=1, max_value=3))
+    return [draw(st.lists(traces(), min_size=0, max_size=6))
+            for _ in range(snapshot_count)]
+
+
+class TestEngineEquivalenceProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(cycles(), st.booleans())
+    def test_engines_agree_on_random_batches(self, snapshots, php):
+        mapper = _mapper()
+        results = {}
+        for engine in ENGINES:
+            pipeline = LprPipeline(mapper, persistence_window=2,
+                                   php_heuristic=php, engine=engine)
+            results[engine] = pipeline.process_snapshots(1, snapshots)
+        reference, candidate = results["object"], results["columnar"]
+
+        assert reference.stats == candidate.stats
+        assert reference.filter_stats == candidate.filter_stats
+        assert set(reference.iotps) == set(candidate.iotps)
+        for key, iotp in reference.iotps.items():
+            other = candidate.iotps[key]
+            assert iotp.lsps == other.lsps
+            assert iotp.dst_asns == other.dst_asns
+            assert iotp.dynamic == other.dynamic
+        assert reference.classification.verdicts == \
+            candidate.classification.verdicts
+        assert {v.key: v.dynamic
+                for v in reference.classification.verdicts.values()} \
+            == {v.key: v.dynamic
+                for v in candidate.classification.verdicts.values()}
+        assert canonical_cycle(reference) == canonical_cycle(candidate)
+
+
+# -- the oracle drill: an injected kernel fault must be caught ----------------
+
+class TestInjectedKernelFault:
+    """A columnar-only persistence skew diverges, is caught, and
+    shrinks to at most two cycles (the acceptance drill for DESIGN
+    §11 + §12: the oracle guards the kernels, the shrinker makes the
+    failure debuggable)."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        spec = StudySpec(scale=0.2, seed=7, cycles=3,
+                         snapshots_per_cycle=2)
+        configs = [config for config in default_matrix()
+                   if config.name == "columnar"]
+        original = kernels.analyze_snapshots
+
+        def skewed(cycle, snapshots, ip2as, *, persistence_window,
+                   reinject_threshold, php_heuristic):
+            return original(cycle, snapshots, ip2as,
+                            persistence_window=persistence_window,
+                            reinject_threshold=1.1,
+                            php_heuristic=php_heuristic)
+
+        with mock.patch.object(kernels, "analyze_snapshots", skewed):
+            return run_matrix(
+                spec, configs,
+                workdir=tmp_path_factory.mktemp("kernel-fault"),
+                shrink=True)
+
+    def test_divergence_detected(self, report):
+        assert not report.clean
+        assert len(report.divergences) == 1
+        assert report.divergences[0].config == "columnar"
+
+    def test_shrunk_to_at_most_two_cycles(self, report):
+        outcome = report.outcomes[0]
+        assert outcome.minimal_spec is not None
+        assert outcome.minimal_spec.cycles <= 2
+        assert outcome.command is not None
+        assert "--configs columnar" in outcome.command
+
+
+class TestColumnarMatrixConfigs:
+    def test_columnar_configs_match_reference(self, tmp_path):
+        spec = StudySpec(scale=0.2, seed=7, cycles=2,
+                         snapshots_per_cycle=2)
+        configs = [config for config in default_matrix(workers=2)
+                   if config.name in ("columnar", "columnar+workers")]
+        report = run_matrix(spec, configs, workdir=tmp_path,
+                            shrink=False)
+        assert report.clean, report.render()

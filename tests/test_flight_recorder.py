@@ -187,6 +187,29 @@ class TestEventsFile:
         assert "par.worker" in report
         assert "== slowest cycles" in report
 
+    def test_report_cache_families_are_guarded(self, telemetry_run):
+        # An object-engine run has forwarding and ip2as-memo telemetry
+        # but no columnar counters: the absent family is omitted, not
+        # divided by zero.
+        report = flight_report(telemetry_run["events_path"])
+        assert "== forwarding-path caches ==" in report
+        assert "ip2as memo" in report
+        assert "columnar engine" not in report
+
+    def test_report_includes_columnar_engine_counters(self, tmp_path):
+        from dataclasses import replace
+        events_path = tmp_path / "events.jsonl"
+        saved = get_event_bus()
+        bus = set_event_bus(EventBus(sink=events_path))
+        try:
+            run_study(replace(SPEC2, engine="columnar"), workers=1)
+        finally:
+            bus.close()
+            set_event_bus(saved)
+        report = flight_report(events_path)
+        assert "columnar engine" in report
+        assert "hops encoded" in report
+
     def test_serial_events_are_deterministic(self):
         def capture():
             saved = get_event_bus()
@@ -265,7 +288,7 @@ class TestCheckpointSpans:
                              metrics_delta={}, replayed_cycles=0)
         path = store.save(result)
         payload = pickle.loads(path.read_bytes())
-        assert payload["version"] == CHECKPOINT_VERSION == 4
-        payload["version"] = 3
+        assert payload["version"] == CHECKPOINT_VERSION == 5
+        payload["version"] = 4
         path.write_bytes(pickle.dumps(payload))
         assert store.load(1, 1) is None

@@ -75,3 +75,37 @@ class TestCodec:
             (Prefix.parse("10.0.0.0/8"), 65001),
         ])
         assert len(mapper) == 1
+
+
+class TestLookupMany:
+    def test_matches_lookup_single(self):
+        mapper = build_mapper()
+        addresses = [ip_to_int("10.1.2.3"), ip_to_int("10.2.0.1"),
+                     ip_to_int("8.8.8.8"), ip_to_int("192.0.2.9"),
+                     ip_to_int("10.1.2.3")]
+        assert mapper.lookup_many(addresses) == \
+            [mapper.lookup_single(a) for a in addresses]
+
+    def test_empty_batch(self):
+        assert build_mapper().lookup_many([]) == []
+
+    def test_block_memo_counts_hits_and_misses(self):
+        from repro.net.ip2as import _LOOKUP_HITS, _LOOKUP_MISSES
+        mapper = build_mapper()
+        block = [ip_to_int("10.1.2.1") + i for i in range(10)]
+        hits = _LOOKUP_HITS.value()
+        misses = _LOOKUP_MISSES.value()
+        mapper.lookup_many(block)
+        # Ten addresses in one /24: one radix walk, nine memo hits.
+        assert _LOOKUP_MISSES.value() - misses == 1
+        assert _LOOKUP_HITS.value() - hits == 9
+
+    def test_fine_prefixes_disable_the_block_memo(self):
+        # A /32 inside a /24 must not be flattened to its block's
+        # answer: with prefixes longer than /24 in the table the memo
+        # degrades to exact-address keys.
+        mapper = build_mapper()
+        mapper.add(Prefix.parse("10.1.2.3/32"), 65009)
+        assert mapper.lookup_many(
+            [ip_to_int("10.1.2.3"), ip_to_int("10.1.2.4")]
+        ) == [65009, 65002]
