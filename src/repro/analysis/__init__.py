@@ -31,7 +31,7 @@ from .experiments import (
     regenerate_all,
     run_longitudinal_study,
 )
-from .flightreport import flight_report, load_trace
+from .flightreport import flight_report, flight_report_data, load_trace
 
 __all__ = [
     "LongitudinalStudy",
@@ -64,5 +64,6 @@ __all__ = [
     "regenerate_all",
     "run_longitudinal_study",
     "flight_report",
+    "flight_report_data",
     "load_trace",
 ]

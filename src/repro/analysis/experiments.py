@@ -80,7 +80,11 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                            backoff_base: float = 0.5,
                            progress: Optional[Callable] = None,
                            progress_clock=None,
-                           engine: str = "object") -> Study:
+                           engine: str = "object",
+                           resources: bool = False,
+                           stall_timeout: Optional[float] = None,
+                           stall_clock=None,
+                           health=None) -> Study:
     """Run the paper's measurement campaign end to end.
 
     ``scale`` shrinks router/prefix counts for fast tests; ``cycles``
@@ -98,7 +102,12 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
     and resumed runs restore the nearest snapshot instead of replaying
     every earlier cycle — still byte-identical (DESIGN §10).
     ``progress``/``progress_clock`` pass straight to
-    :func:`repro.par.run_study` for live telemetry (DESIGN §9).
+    :func:`repro.par.run_study` for live telemetry (DESIGN §9), as do
+    the live-plane knobs ``resources`` (per-process RSS/CPU/GC gauges
+    on every heartbeat), ``stall_timeout``/``stall_clock`` (the
+    heartbeat-deadline watchdog) and ``health`` (the monitor a
+    :class:`~repro.obs.live.TelemetryServer` shares) — all DESIGN §13,
+    all observational.
     ``engine`` picks the analysis backend (``object`` or ``columnar``,
     DESIGN §12) — byte-identical either way.
     """
@@ -115,7 +124,11 @@ def run_longitudinal_study(scale: float = 1.0, seed: int = 2015,
                         max_retries=max_retries,
                         backoff_base=backoff_base,
                         progress=progress,
-                        progress_clock=progress_clock)
+                        progress_clock=progress_clock,
+                        resources=resources,
+                        stall_timeout=stall_timeout,
+                        stall_clock=stall_clock,
+                        health=health)
     _log.info("study.done", cycles=len(run.results))
     return Study(simulator=run.simulator, pipeline=run.pipeline,
                  longitudinal=LongitudinalStudy(run.results))

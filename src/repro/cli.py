@@ -11,9 +11,14 @@ Seven subcommands mirror the measurement workflow:
 * ``study`` — regenerate paper artifacts from a fresh longitudinal run.
   Flight-recorder flags: ``--progress`` (live status line on stderr),
   ``--events-out`` (append-only JSONL event log), ``--trace-out``
-  (Chrome trace-event JSON, loadable in Perfetto);
+  (Chrome trace-event JSON, loadable in Perfetto).  Live telemetry
+  plane (DESIGN §13): ``--serve-telemetry [HOST:]PORT`` starts a
+  background HTTP server with ``/metrics``, ``/healthz``,
+  ``/progress`` and ``/events`` endpoints and turns on per-process
+  resource sampling; ``--stall-timeout SECS`` arms the
+  heartbeat-deadline watchdog;
 * ``report`` — reconstruct a past study from its flight-recorder
-  files;
+  files, as text or (``--format json``) one JSON object;
 * ``verify`` — the differential oracle: execute one spec through every
   fast-path configuration (workers, pair blocks, no-memo, checkpoint
   resume, warm-start state store, archive round-trips), diff canonical
@@ -34,6 +39,7 @@ Example round trip::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -42,6 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 from .analysis import (
     ALL_ARTIFACTS,
     flight_report,
+    flight_report_data,
     format_table,
     regenerate,
     run_longitudinal_study,
@@ -53,13 +60,16 @@ from .net.ip2as import Ip2AsMapper
 from .par import StudySpec
 from .obs import (
     EventBus,
+    HealthMonitor,
     MonotonicClock,
     ProgressPrinter,
+    TelemetryServer,
     Tracer,
     configure_logging,
     get_logger,
     get_registry,
     get_tracer,
+    parse_endpoint,
     set_event_bus,
     set_tracer,
     write_chrome_trace,
@@ -188,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the span tree (parent and worker) "
                             "as Chrome trace-event JSON, loadable in "
                             "Perfetto")
+    study.add_argument("--serve-telemetry", default=None,
+                       metavar="[HOST:]PORT",
+                       help="serve live telemetry over HTTP while the "
+                            "study runs (/metrics Prometheus text, "
+                            "/healthz liveness, /progress JSON, "
+                            "/events ring-buffer tail) and sample "
+                            "per-process RSS/CPU/GC on every "
+                            "heartbeat; port 0 picks a free port — "
+                            "the bound URL is printed on stderr")
+    study.add_argument("--stall-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="flag a shard as stalled (shard.stalled "
+                            "event, par_shards_stalled_total metric, "
+                            "503 on /healthz) when its heartbeats go "
+                            "silent this long; off by default")
 
     report = sub.add_parser(
         "report", help="reconstruct a study from flight-recorder files")
@@ -199,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(adds per-stage times + slowest cycles)")
     report.add_argument("--top", type=int, default=5, metavar="N",
                         help="how many slowest cycles to list")
+    report.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="text report or one machine-readable "
+                             "JSON object with the same sections")
 
     verify = sub.add_parser(
         "verify", help="differential oracle: prove every fast path "
@@ -384,7 +413,10 @@ def cmd_audit(args) -> int:
 
 
 def cmd_study(args) -> int:
-    timed = args.profile or args.progress or args.trace_out is not None
+    timed = (args.profile or args.progress
+             or args.trace_out is not None
+             or args.serve_telemetry is not None
+             or args.stall_timeout is not None)
     if timed:
         # Opt into real timing: swap the NullClock tracer for a
         # monotonic one (results stay deterministic — only the span
@@ -406,6 +438,17 @@ def cmd_study(args) -> int:
         print(f"--snapshot-stride must be >= 1, "
               f"got {args.snapshot_stride}", file=sys.stderr)
         return 2
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        print(f"--stall-timeout must be > 0, got {args.stall_timeout}",
+              file=sys.stderr)
+        return 2
+    endpoint = None
+    if args.serve_telemetry is not None:
+        try:
+            endpoint = parse_endpoint(args.serve_telemetry)
+        except ValueError as error:
+            print(f"--serve-telemetry: {error}", file=sys.stderr)
+            return 2
     bus = None
     if args.events_out is not None:
         # The events file gets wall timestamps only when the run
@@ -415,8 +458,27 @@ def cmd_study(args) -> int:
                        sink=args.events_out)
         set_event_bus(bus)
     printer = ProgressPrinter() if args.progress else None
-    progress = ((lambda tracker: printer.update(tracker))
-                if printer is not None else None)
+    health = server = None
+    if endpoint is not None:
+        health = HealthMonitor(stall_timeout=args.stall_timeout,
+                               clock=MonotonicClock())
+        server = TelemetryServer(*endpoint, registry=get_registry(),
+                                 health=health)
+        server.start()
+        print(f"telemetry: listening on {server.url}",
+              file=sys.stderr, flush=True)
+
+    # /progress needs the live tracker, so the server taps the same
+    # callback stream the printer does.
+    sinks = [sink for sink in
+             (printer.update if printer is not None else None,
+              server.on_progress if server is not None else None)
+             if sink is not None]
+    progress = None
+    if sinks:
+        def progress(tracker):
+            for sink in sinks:
+                sink(tracker)
     try:
         study = run_longitudinal_study(
             scale=args.scale, seed=args.seed,
@@ -428,10 +490,15 @@ def cmd_study(args) -> int:
             snapshot_stride=args.snapshot_stride,
             max_retries=args.max_retries,
             backoff_base=args.backoff_base,
-            progress=progress)
+            progress=progress,
+            resources=server is not None,
+            stall_timeout=args.stall_timeout,
+            health=health)
     finally:
         if printer is not None:
             printer.finish()
+        if server is not None:
+            server.stop()
         if bus is not None:
             bus.close()
     for artifact in args.artifacts:
@@ -446,8 +513,14 @@ def cmd_study(args) -> int:
 
 def cmd_report(args) -> int:
     try:
-        print(flight_report(args.events, trace_path=args.trace,
-                            top=args.top))
+        if args.format == "json":
+            data = flight_report_data(args.events,
+                                      trace_path=args.trace,
+                                      top=args.top)
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            print(flight_report(args.events, trace_path=args.trace,
+                                top=args.top))
     except (OSError, ValueError) as error:
         print(f"cannot build report: {error}", file=sys.stderr)
         return 1

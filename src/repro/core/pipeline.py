@@ -221,8 +221,11 @@ def run_study(spec, workers: int = 1, **options):
     Keyword ``options`` pass straight to
     :func:`repro.par.runner.run_study` — fault tolerance knobs such as
     ``max_retries``, ``checkpoint_dir`` and ``subdivide`` (DESIGN §8),
-    and the warm-start state-store knobs ``state_dir`` /
-    ``snapshot_stride`` (DESIGN §10).
+    the warm-start state-store knobs ``state_dir`` /
+    ``snapshot_stride`` (DESIGN §10), and the live telemetry knobs
+    ``progress``, ``resources``, ``stall_timeout`` and ``health``
+    (DESIGN §9/§13) — all observational, never changing a byte of
+    output.
     """
     # Imported lazily: repro.par builds on this module and on repro.sim.
     from ..par.runner import run_study as run_sharded

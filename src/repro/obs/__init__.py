@@ -21,6 +21,14 @@ classification) against the process-wide singletons exposed here:
 Exporters (:mod:`repro.obs.export`) render registry snapshots as JSON
 or Prometheus text, and span trees as Chrome trace-event JSON
 (Perfetto-loadable).
+
+The **live telemetry plane** (DESIGN §13) builds on all of the above:
+:class:`TelemetryServer` (:mod:`repro.obs.live`) serves the live
+registry, health, progress and event tail over HTTP while a study
+runs; :mod:`repro.obs.resources` samples per-process RSS/CPU/GC on
+worker heartbeats; :class:`StallWatchdog` (:mod:`repro.obs.watchdog`)
+flags shards whose heartbeats go silent past a deadline.  All of it is
+opt-in and clock-injected, so the determinism contract holds.
 """
 
 from .log import (
@@ -52,6 +60,7 @@ from .trace import (
     traced,
 )
 from .export import (
+    PROMETHEUS_CONTENT_TYPE,
     registry_to_json,
     snapshot_to_json,
     to_chrome_trace,
@@ -69,6 +78,17 @@ from .events import (
     set_event_bus,
 )
 from .progress import ProgressPrinter, ProgressTracker
+from .resources import (
+    absorb_resources,
+    record_resources,
+    sample_resources,
+)
+from .watchdog import StallWatchdog
+from .live import (
+    HealthMonitor,
+    TelemetryServer,
+    parse_endpoint,
+)
 
 __all__ = [
     "JsonFormatter",
@@ -108,4 +128,12 @@ __all__ = [
     "set_event_bus",
     "ProgressPrinter",
     "ProgressTracker",
+    "PROMETHEUS_CONTENT_TYPE",
+    "absorb_resources",
+    "record_resources",
+    "sample_resources",
+    "StallWatchdog",
+    "HealthMonitor",
+    "TelemetryServer",
+    "parse_endpoint",
 ]

@@ -26,6 +26,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from .metrics import MetricsRegistry, get_registry
 from .trace import Span, Tracer
 
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+"""The standard content type of the text exposition format — what a
+``/metrics`` HTTP handler (:mod:`repro.obs.live`) must declare."""
+
 
 def snapshot_to_json(snapshot: Mapping[str, Any], indent: int = 2) -> str:
     """Serialize a registry snapshot (or diff/merge result) to JSON."""

@@ -271,8 +271,11 @@ class MetricsRegistry:
     def diff(before: Mapping[str, Any],
              after: Mapping[str, Any]) -> Dict[str, Any]:
         """``after - before`` for counters/histograms; gauges keep
-        their ``after`` value.  Metrics absent from ``before`` count
-        from zero; zero-delta entries are dropped.
+        their ``after`` value, but only when it *changed* in the
+        window.  Metrics absent from ``before`` count from zero;
+        zero-delta and unchanged-gauge entries are dropped — a
+        long-lived gauge (say a worker's peak RSS) set outside the
+        window must not leak into every subsequent delta.
         """
         out: Dict[str, Any] = {}
         for name, data in after.items():
@@ -283,6 +286,9 @@ class MetricsRegistry:
             values = []
             for entry in data["values"]:
                 key = _label_key(entry["labels"])
+                if (data["type"] == "gauge"
+                        and previous.get(key) == entry["value"]):
+                    continue
                 delta = _subtract(data["type"], entry["value"],
                                   previous.get(key))
                 if _is_zero(delta):

@@ -22,8 +22,9 @@ tracker only computes elapsed time / ETA when built with a real
 from __future__ import annotations
 
 import sys
+import threading
 from dataclasses import dataclass
-from typing import Dict, IO, Optional
+from typing import Any, Dict, IO, Optional
 
 from .trace import Clock, NullClock
 
@@ -52,6 +53,10 @@ class ProgressTracker:
         self.shards: Dict[int, ShardProgress] = {}
         self._start = self.clock.now()
         self._high_water = 0.0
+        # Mutations come from the runner's thread, reads also from the
+        # telemetry server's handler threads; reentrant because
+        # add_shard(done=True) folds through shard_done.
+        self._lock = threading.RLock()
 
     # -- shard registry ------------------------------------------------------
 
@@ -63,41 +68,45 @@ class ProgressTracker:
         ``work`` is in cycle units; ``done=True`` registers an
         already-finished shard (e.g. restored from a checkpoint).
         """
-        progress = ShardProgress(shard_id=shard_id, work=work,
-                                 is_block=is_block)
-        self.shards[shard_id] = progress
-        if done:
-            self.shard_done(shard_id)
+        with self._lock:
+            progress = ShardProgress(shard_id=shard_id, work=work,
+                                     is_block=is_block)
+            self.shards[shard_id] = progress
+            if done:
+                self.shard_done(shard_id)
 
     def abandon_shard(self, shard_id: int) -> None:
         """Mark a failed shard: its work will be redone elsewhere."""
-        progress = self.shards.get(shard_id)
-        if progress is not None and not progress.done:
-            progress.abandoned = True
+        with self._lock:
+            progress = self.shards.get(shard_id)
+            if progress is not None and not progress.done:
+                progress.abandoned = True
 
     # -- updates -------------------------------------------------------------
 
     def heartbeat(self, shard_id: int, cycles_done: float = 0,
                   blocks_done: int = 0, traces: int = 0) -> None:
         """Fold one worker heartbeat in (monotonic per shard)."""
-        progress = self.shards.get(shard_id)
-        if progress is None:
-            return
-        work = float(cycles_done) + blocks_done * (
-            progress.work if progress.is_block else 0.0)
-        progress.work_done = min(progress.work,
-                                 max(progress.work_done, work))
-        progress.traces = max(progress.traces, traces)
-        self._advance()
+        with self._lock:
+            progress = self.shards.get(shard_id)
+            if progress is None:
+                return
+            work = float(cycles_done) + blocks_done * (
+                progress.work if progress.is_block else 0.0)
+            progress.work_done = min(progress.work,
+                                     max(progress.work_done, work))
+            progress.traces = max(progress.traces, traces)
+            self._advance()
 
     def shard_done(self, shard_id: int) -> None:
-        progress = self.shards.get(shard_id)
-        if progress is None:
-            return
-        progress.done = True
-        progress.abandoned = False
-        progress.work_done = progress.work
-        self._advance()
+        with self._lock:
+            progress = self.shards.get(shard_id)
+            if progress is None:
+                return
+            progress.done = True
+            progress.abandoned = False
+            progress.work_done = progress.work
+            self._advance()
 
     def _advance(self) -> None:
         live = sum(p.work_done for p in self.shards.values()
@@ -144,6 +153,35 @@ class ProgressTracker:
         rate = self.work_done / elapsed
         return (self.total_cycles - self.work_done) / rate
 
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of the whole campaign (thread-safe).
+
+        What the live ``/progress`` endpoint serves: campaign totals,
+        elapsed/ETA (the ``eta`` key is None until any work completed
+        or under a :class:`NullClock`), and every shard's high-water
+        progress.
+        """
+        with self._lock:
+            eta = self.eta_seconds()
+            return {
+                "total_cycles": self.total_cycles,
+                "work_done": self.work_done,
+                "fraction": round(self.fraction, 6),
+                "traces": self.traces,
+                "shards_done": self.shards_done,
+                "shards_total": self.shards_total,
+                "elapsed_s": round(self.elapsed(), 6),
+                "eta": round(eta, 6) if eta is not None else None,
+                "shards": [
+                    {"shard": p.shard_id, "work": p.work,
+                     "work_done": p.work_done, "traces": p.traces,
+                     "block": p.is_block, "done": p.done,
+                     "abandoned": p.abandoned}
+                    for p in sorted(self.shards.values(),
+                                    key=lambda p: p.shard_id)
+                ],
+            }
+
     # -- rendering -----------------------------------------------------------
 
     def render(self) -> str:
@@ -170,28 +208,57 @@ def _format_seconds(seconds: float) -> str:
 
 
 class ProgressPrinter:
-    """Renders a tracker onto one self-overwriting terminal line.
+    """Renders a tracker as a live status line, terminal-aware.
 
-    The line is padded to the previous render's width so a shrinking
-    status never leaves stale characters behind; :meth:`finish` ends
-    the line (call it before printing anything else).
+    On a TTY each update redraws one self-overwriting line (``\\r``,
+    padded to the previous render's width so a shrinking status never
+    leaves stale characters behind).  When the stream is **not** a TTY
+    — a CI log, a pipe, a redirected file — carriage returns would
+    smear every redraw onto one unreadable mega-line, so updates are
+    plain newline-terminated lines instead, de-duplicated so an idle
+    study does not flood the log.
+
+    :meth:`finish` always leaves a final summary as the last complete
+    line (call it before printing anything else).
     """
 
     def __init__(self, stream: Optional[IO[str]] = None):
         self.stream = stream or sys.stderr
+        isatty = getattr(self.stream, "isatty", None)
+        self._tty = bool(isatty()) if callable(isatty) else False
         self._last_width = 0
+        self._last_line: Optional[str] = None
+        self._tracker: Optional[ProgressTracker] = None
         self._dirty = False
 
     def update(self, tracker: ProgressTracker) -> None:
+        self._tracker = tracker
         line = tracker.render()
-        padded = line.ljust(self._last_width)
-        self.stream.write("\r" + padded)
+        if self._tty:
+            self.stream.write("\r" + line.ljust(self._last_width))
+            self._last_width = len(line)
+            self._dirty = True
+        else:
+            if line == self._last_line:
+                return
+            self.stream.write(line + "\n")
+        self._last_line = line
         self.stream.flush()
-        self._last_width = len(line)
-        self._dirty = True
 
     def finish(self) -> None:
-        if self._dirty:
+        """End the status display with a final summary line."""
+        if self._tracker is not None:
+            line = self._tracker.render()
+            if self._tty:
+                self.stream.write(
+                    "\r" + line.ljust(self._last_width) + "\n")
+                self._dirty = False
+            elif line != self._last_line:
+                self.stream.write(line + "\n")
+            self._last_line = line
+            self._tracker = None
+            self.stream.flush()
+        elif self._tty and self._dirty:
             self.stream.write("\n")
             self.stream.flush()
             self._dirty = False

@@ -17,6 +17,7 @@ cost one ``is None`` check per cycle.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
@@ -27,6 +28,12 @@ OOM-kill or segfault looks like from the parent: a broken pool."""
 RAISE = "raise"
 """Raise :class:`FaultInjected` inside the worker — an ordinary
 per-shard exception travelling back through the future."""
+
+HANG = "hang"
+"""Stop making progress for ``hang_seconds`` (the worker sleeps, then
+carries on) — what a wedged syscall or a pathological cycle looks like
+to the heartbeat watchdog.  Unlike KILL/RAISE the shard eventually
+completes, so the drill exercises the stall -> recovered path."""
 
 
 class FaultInjected(RuntimeError):
@@ -46,10 +53,15 @@ class ShardFault:
     kind: str
     attempts: Tuple[int, ...] = (0,)
     after_cycles: int = 0
+    hang_seconds: float = 1.0
+    """How long a ``HANG`` fault stays silent before resuming."""
 
     def __post_init__(self):
-        if self.kind not in (KILL, RAISE):
+        if self.kind not in (KILL, RAISE, HANG):
             raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.hang_seconds < 0:
+            raise ValueError(
+                f"negative hang_seconds: {self.hang_seconds}")
 
     def maybe_fire(self, attempt: int, cycles_done: int) -> None:
         """Fire iff this attempt is staged and enough cycles ran."""
@@ -57,6 +69,9 @@ class ShardFault:
             self.fire()
 
     def fire(self) -> None:
+        if self.kind == HANG:
+            time.sleep(self.hang_seconds)
+            return
         if self.kind == KILL:
             os._exit(43)
         raise FaultInjected(

@@ -71,15 +71,19 @@ from ..core.pipeline import CycleResult, LprPipeline
 from ..obs import (
     Clock,
     EventBus,
+    HealthMonitor,
     MonotonicClock,
     NullClock,
     ProgressTracker,
     Span,
+    StallWatchdog,
     Tracer,
     emit,
     get_logger,
     get_registry,
     get_tracer,
+    record_resources,
+    sample_resources,
     set_event_bus,
     set_tracer,
     span,
@@ -110,6 +114,9 @@ _SHARD_RETRIES = get_registry().counter(
 _SHARDS_FAILED = get_registry().counter(
     "par_shards_failed_total",
     "Shards that exhausted their retry budget (aborts the study)")
+_SHARDS_STALLED = get_registry().counter(
+    "par_shards_stalled_total",
+    "Shards flagged silent past the --stall-timeout deadline")
 
 
 class StudyFailure(RuntimeError):
@@ -208,7 +215,7 @@ def _beat(beats, shard: Shard, **fields: Any) -> None:
 
 def _run_shard(
     args: Tuple[StudySpec, Shard, int, Optional[ShardFault], bool, Any,
-                Any]
+                Any, bool]
 ) -> ShardResult:
     """Worker entry: reconstruct state, run the shard's work locally.
 
@@ -217,7 +224,12 @@ def _run_shard(
     tracer — monotonic when the parent profiles, so the returned
     ``par.worker`` span tree carries real durations the parent grafts
     into its own trace.  ``beats`` (a manager queue or None) receives
-    one heartbeat per finished cycle / pair block.
+    a liveness heartbeat on entry and after the prefix replay — what
+    arms the stall watchdog's deadline — then one per finished cycle /
+    pair block.  With ``resources`` set each heartbeat also carries a
+    :func:`~repro.obs.resources.sample_resources` sample of *this*
+    worker process; the parent folds it into its own registry, so the
+    shard's ``metrics_delta`` stays free of resource gauges.
 
     With ``state_dir`` set the worker warm-starts: it restores the
     newest usable snapshot at or before ``first - 1`` from the shared
@@ -227,10 +239,16 @@ def _run_shard(
     — is byte-identical either way; ``replayed_cycles`` records what
     was actually replayed.
     """
-    spec, shard, attempt, fault, profile, beats, state_dir = args
+    (spec, shard, attempt, fault, profile, beats, state_dir,
+     resources) = args
     set_event_bus(EventBus())
     tracer = set_tracer(Tracer(MonotonicClock() if profile
                                else NullClock()))
+
+    def _res() -> Dict[str, Any]:
+        return ({"resources": sample_resources()} if resources else {})
+
+    _beat(beats, shard, **_res())
     simulator, pipeline = build_study(spec)
     registry = get_registry()
     before = registry.snapshot()
@@ -251,6 +269,8 @@ def _run_shard(
                 simulator.internet.restore_state(state)
                 replay_from = snapshot_cycle + 1
         simulator.fast_forward(replay_from, shard.first - 1)
+        if shard.first > 1:
+            _beat(beats, shard, **_res())  # prefix replayed, alive
         if shard.block is not None:
             if fault is not None:
                 fault.maybe_fire(attempt, 0)
@@ -258,7 +278,7 @@ def _run_shard(
                                        pair_block=shard.block)
             snapshots = data.snapshots
             _beat(beats, shard, blocks_done=1,
-                  traces=sim_traces.value() - traces_start)
+                  traces=sim_traces.value() - traces_start, **_res())
         else:
             for index, cycle in enumerate(shard.cycles):
                 if fault is not None:
@@ -266,7 +286,8 @@ def _run_shard(
                 results.append(
                     pipeline.process_cycle(simulator.run_cycle(cycle)))
                 _beat(beats, shard, cycles_done=index + 1,
-                      traces=sim_traces.value() - traces_start)
+                      traces=sim_traces.value() - traces_start,
+                      **_res())
     return ShardResult(
         shard_id=shard.shard_id,
         results=results,
@@ -300,7 +321,11 @@ def run_study(spec: StudySpec, workers: int = 1, *,
               sleep: Callable[[float], None] = time.sleep,
               progress: Optional[Callable[[ProgressTracker],
                                           None]] = None,
-              progress_clock: Optional[Clock] = None) -> StudyRun:
+              progress_clock: Optional[Clock] = None,
+              resources: bool = False,
+              stall_timeout: Optional[float] = None,
+              stall_clock: Optional[Clock] = None,
+              health: Optional[HealthMonitor] = None) -> StudyRun:
     """Execute a campaign, sharded over ``workers`` processes.
 
     Results come back ordered by cycle whatever the pool's scheduling,
@@ -350,6 +375,23 @@ fast_forward` — never probing — so output stays byte-identical with or
     global tracer has a real clock (``--profile``/``--trace-out``),
     workers time their own spans and the parent grafts each shard's
     tree under the study span, tagged ``shard=<id>``.
+
+    The live telemetry plane (DESIGN §13) adds three more opt-ins, all
+    default-off so the determinism contract stands.  ``resources=True``
+    attaches an RSS/CPU/GC sample to every heartbeat (workers, the
+    serial loop and the parent alike), folded into ``worker_*`` gauges
+    in *this* process's registry and emitted as ``worker.resources``
+    events — never into results, per-cycle deltas or checkpoints.
+    ``stall_timeout`` arms a heartbeat-deadline
+    :class:`~repro.obs.watchdog.StallWatchdog` (``stall_clock``
+    injectable for tests): a shard silent past the deadline gets a
+    ``shard.stalled`` event, a ``par_shards_stalled_total`` bump and —
+    via ``health`` — flips ``/healthz``; a later beat or completion
+    emits ``shard.recovered``.  ``health`` is the
+    :class:`~repro.obs.live.HealthMonitor` a
+    :class:`~repro.obs.live.TelemetryServer` shares with this run;
+    the runner beats it on every sign of life and freezes it healthy
+    on return.
     """
     if max_retries < 0:
         raise ValueError(f"negative max_retries: {max_retries}")
@@ -358,6 +400,8 @@ fast_forward` — never probing — so output stays byte-identical with or
     if snapshot_stride < 1:
         raise ValueError(f"snapshot_stride must be >= 1: "
                          f"{snapshot_stride}")
+    if stall_timeout is not None and stall_timeout <= 0:
+        raise ValueError(f"stall_timeout must be > 0: {stall_timeout}")
     store = (CheckpointStore(checkpoint_dir, spec)
              if checkpoint_dir is not None else None)
     state_store = (StateStore(state_dir, spec)
@@ -367,7 +411,10 @@ fast_forward` — never probing — so output stays byte-identical with or
         run = _run_serial(spec, store, fault_plan, progress=progress,
                           progress_clock=progress_clock,
                           state_store=state_store,
-                          snapshot_stride=snapshot_stride)
+                          snapshot_stride=snapshot_stride,
+                          resources=resources, health=health)
+        if health is not None:
+            health.finish()
         emit("study.done", cycles=len(run.results), shards=0)
         return run
 
@@ -380,12 +427,20 @@ fast_forward` — never probing — so output stays byte-identical with or
     tracker: Optional[ProgressTracker] = None
     manager = None
     beats = None
+    # Heartbeats carry progress, resource samples and watchdog
+    # liveness alike: open the worker→parent queue when any consumer
+    # exists.
+    telemetry = (progress is not None or resources
+                 or stall_timeout is not None)
     if progress is not None:
         tracker = ProgressTracker(spec.cycles,
                                   clock=progress_clock
                                   or MonotonicClock())
+    if telemetry:
         manager = _pool_context().Manager()
         beats = manager.Queue()
+    watchdog = (StallWatchdog(stall_timeout, clock=stall_clock)
+                if stall_timeout is not None else None)
 
     def _notify() -> None:
         if progress is not None and tracker is not None:
@@ -400,13 +455,43 @@ fast_forward` — never probing — so output stays byte-identical with or
                           is_block=shard.block is not None, done=done)
 
     def _on_beat(beat: Dict[str, Any]) -> None:
+        sample = beat.pop("resources", None)
+        shard_id = beat.get("shard", -1)
         if tracker is not None:
-            tracker.heartbeat(beat.get("shard", -1),
+            tracker.heartbeat(shard_id,
                               cycles_done=beat.get("cycles_done", 0),
                               blocks_done=beat.get("blocks_done", 0),
                               traces=beat.get("traces", 0))
         emit("shard.heartbeat", **beat)
+        if sample is not None:
+            record_resources(shard_id, sample)
+        if watchdog is not None and watchdog.beat(shard_id):
+            emit("shard.recovered", shard=shard_id)
+            if health is not None:
+                health.clear(shard_id)
+        if health is not None:
+            health.beat()
         _notify()
+
+    def _on_tick() -> None:
+        """Dispatch-loop pulse: flag shards newly past the deadline."""
+        if watchdog is None:
+            return
+        for shard_id in watchdog.check():
+            _SHARDS_STALLED.inc(shard=shard_id)
+            _log.warning("par.shard.stalled", shard=shard_id,
+                         timeout=stall_timeout)
+            emit("shard.stalled", shard=shard_id,
+                 timeout=stall_timeout)
+            if health is not None:
+                health.stall(shard_id)
+
+    def _on_settle(shard_id: int) -> None:
+        """A shard's future resolved (result or error): unflag it."""
+        if watchdog is not None and watchdog.clear(shard_id):
+            emit("shard.recovered", shard=shard_id)
+            if health is not None:
+                health.clear(shard_id)
 
     _log.info("par.study.start", cycles=spec.cycles, workers=workers,
               shards=len(shards))
@@ -486,7 +571,11 @@ fast_forward` — never probing — so output stays byte-identical with or
                 executed, failed = _dispatch(spec, pending, workers,
                                              attempts, fault_plan,
                                              profile, beats, _on_beat,
-                                             state_dir=state_dir)
+                                             state_dir=state_dir,
+                                             resources=resources,
+                                             watchdog=watchdog,
+                                             on_tick=_on_tick,
+                                             on_settle=_on_settle)
                 for result in executed:
                     _SHARDS_RUN.inc()
                     if result.block is not None:
@@ -612,6 +701,12 @@ fast_forward` — never probing — so output stays byte-identical with or
     finally:
         if manager is not None:
             manager.shutdown()
+    if resources:
+        # The parent's own footprint (reassembly, absorption, replay),
+        # after every delta window has closed.
+        record_resources("parent", sample_resources())
+    if health is not None:
+        health.finish()
     _log.info("par.study.done", cycles=len(results),
               shards=len(shards_out))
     emit("study.done", cycles=len(results), shards=len(shards_out))
@@ -742,7 +837,11 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
               beats=None,
               on_beat: Optional[Callable[[Dict[str, Any]],
                                          None]] = None,
-              state_dir=None
+              state_dir=None,
+              resources: bool = False,
+              watchdog: Optional[StallWatchdog] = None,
+              on_tick: Optional[Callable[[], None]] = None,
+              on_settle: Optional[Callable[[int], None]] = None
               ) -> Tuple[List[ShardResult],
                          List[Tuple[Shard, BaseException]]]:
     """One pool round: run every shard once, sorting survivors from
@@ -752,6 +851,11 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
     With a progress queue, the completion wait runs on a short timeout
     so heartbeats drain (and the progress line refreshes) while shards
     are still in flight; without one it blocks until each completion.
+    A ``watchdog`` registers each submitted shard and ``on_tick`` runs
+    after every drain, so stall deadlines are judged on the same pulse
+    heartbeats arrive on; ``on_settle`` fires once per resolved future
+    (success or failure), letting the runner unflag a stalled shard
+    whose worker finally returned.
     """
     executed: List[ShardResult] = []
     failed: List[Tuple[Shard, BaseException]] = []
@@ -762,11 +866,13 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
                 _run_shard,
                 (spec, shard, attempts[shard],
                  fault_plan.for_shard(shard) if fault_plan else None,
-                 profile, beats, state_dir),
+                 profile, beats, state_dir, resources),
             ): shard
             for shard in shards
         }
         for shard in shards:
+            if watchdog is not None:
+                watchdog.watch(shard.shard_id)
             emit("shard.dispatch", shard=shard.shard_id,
                  first=shard.first, last=shard.last,
                  attempt=attempts[shard] + 1,
@@ -780,12 +886,16 @@ def _dispatch(spec: StudySpec, shards: List[Shard], workers: int,
                 return_when=FIRST_COMPLETED)
             if on_beat is not None:
                 _drain(beats, on_beat)
+            if on_tick is not None:
+                on_tick()
             for future in done:
                 shard = futures[future]
                 try:
                     executed.append(future.result())
                 except Exception as error:  # incl. BrokenProcessPool
                     failed.append((shard, error))
+                if on_settle is not None:
+                    on_settle(shard.shard_id)
         if on_beat is not None:
             _drain(beats, on_beat)
     return executed, failed
@@ -797,7 +907,9 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                                             None]] = None,
                 progress_clock: Optional[Clock] = None,
                 state_store: Optional[StateStore] = None,
-                snapshot_stride: int = DEFAULT_SNAPSHOT_STRIDE
+                snapshot_stride: int = DEFAULT_SNAPSHOT_STRIDE,
+                resources: bool = False,
+                health: Optional[HealthMonitor] = None
                 ) -> StudyRun:
     """The in-process loop, with optional per-cycle checkpointing.
 
@@ -820,6 +932,11 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
     A serial run is its own single "shard" on the progress tracker (one
     heartbeat per finished cycle), and emits the same ``cycle.metrics``
     events a parallel run does, so ``repro report`` reads both alike.
+    With ``resources`` it samples itself once per cycle under shard
+    label 0 — *after* the cycle's checkpoint delta window closed, so
+    the persisted bytes never see a gauge — and beats ``health`` on
+    the same cadence (the serial path's stall detection is the
+    monitor's staleness rule, there being no per-shard watchdog).
     """
     simulator, pipeline = build_study(spec)
     registry = get_registry()
@@ -884,6 +1001,10 @@ def _run_serial(spec: StudySpec, store: Optional[CheckpointStore],
                     and not state_store.has(cycle)):
                 state_store.save(cycle,
                                  simulator.internet.capture_state())
+        if resources:
+            record_resources(0, sample_resources())
+        if health is not None:
+            health.beat()
         if tracker is not None:
             tracker.heartbeat(
                 0, cycles_done=cycle,

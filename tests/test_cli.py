@@ -221,6 +221,62 @@ class TestFlightRecorderFlags:
         assert "cannot build report" in capsys.readouterr().err
 
 
+class TestLiveTelemetryFlags:
+    def test_parser_accepts_telemetry_plane_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--serve-telemetry", "127.0.0.1:9464",
+             "--stall-timeout", "120"])
+        assert args.serve_telemetry == "127.0.0.1:9464"
+        assert args.stall_timeout == 120.0
+
+    def test_telemetry_flags_default_off(self):
+        args = build_parser().parse_args(["study"])
+        assert args.serve_telemetry is None
+        assert args.stall_timeout is None
+
+    def test_bad_endpoint_is_rejected(self, capsys):
+        assert main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--serve-telemetry", "notaport"]) == 2
+        assert "--serve-telemetry" in capsys.readouterr().err
+
+    def test_nonpositive_stall_timeout_is_rejected(self, capsys):
+        assert main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--stall-timeout", "0"]) == 2
+        assert "--stall-timeout" in capsys.readouterr().err
+
+    def test_study_serves_telemetry_on_ephemeral_port(self, capsys):
+        code = main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--serve-telemetry", "127.0.0.1:0"])
+        assert code == 0
+        assert "telemetry: listening on http://127.0.0.1:" \
+            in capsys.readouterr().err
+
+    def test_report_format_json_roundtrip(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(events),
+                     "--format", "json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["study"]["completed"] is True
+        assert decoded["study"]["cycles"] == 1
+        assert "caches" in decoded
+
+    def test_report_format_text_is_the_default(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["study", "--cycles", "1", "--scale", "0.25",
+                     "--seed", "7", "--artifacts", "table1",
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(events)]) == 0
+        assert "== study ==" in capsys.readouterr().out
+
+
 class TestAudit:
     def test_per_as_report(self, campaign_dir, capsys):
         cycle_dir = campaign_dir / "cycle-30"

@@ -21,10 +21,13 @@ import pytest
 from repro.cli import _profile_table
 from repro.core.pipeline import run_study
 from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
     EventBus,
     FakeClock,
+    HealthMonitor,
     MonotonicClock,
     NullClock,
+    TelemetryServer,
     Tracer,
     get_event_bus,
     get_tracer,
@@ -33,7 +36,8 @@ from repro.obs import (
     set_tracer,
     write_chrome_trace,
 )
-from repro.analysis.flightreport import flight_report
+from repro.analysis.flightreport import flight_report, \
+    flight_report_data
 from repro.par import CheckpointStore, StudySpec
 from repro.par.checkpoint import CHECKPOINT_VERSION
 from repro.par.runner import ShardResult, _delta_total
@@ -50,29 +54,46 @@ def serial_run():
 
 @pytest.fixture(scope="module")
 def telemetry_run(tmp_path_factory):
-    """One parallel run with every flight-recorder feature on."""
+    """One parallel run with every flight-recorder feature on,
+    including the DESIGN §13 live plane: a telemetry server scraped
+    mid-run, resource sampling and an (ample) stall deadline."""
     out = tmp_path_factory.mktemp("flightrec")
     events_path = out / "events.jsonl"
     trace_path = out / "trace.json"
     ticks = []
-
-    def on_progress(tracker):
-        ticks.append((tracker.work_done, tracker.shards_done,
-                      tracker.traces, tracker.render()))
+    scrapes = {}
 
     saved_tracer, saved_bus = get_tracer(), get_event_bus()
     tracer = set_tracer(Tracer(MonotonicClock()))
     bus = set_event_bus(EventBus(clock=MonotonicClock(),
                                  sink=events_path))
+    health = HealthMonitor()
+    server = TelemetryServer(bus=bus, health=health)
+
+    def on_progress(tracker):
+        server.on_progress(tracker)
+        ticks.append((tracker.work_done, tracker.shards_done,
+                      tracker.traces, tracker.render()))
+        # Scrape every endpoint once mid-run, as soon as the ETA is
+        # computable (some work done, some wall time elapsed).
+        if (not scrapes and tracker.work_done > 0
+                and tracker.elapsed() > 0):
+            for path in ("/metrics", "/healthz", "/progress",
+                         "/events?n=10"):
+                scrapes[path] = server.respond(path)
+
     try:
-        run = run_study(SPEC, workers=4, progress=on_progress)
+        run = run_study(SPEC, workers=4, progress=on_progress,
+                        resources=True, stall_timeout=300.0,
+                        health=health)
         write_chrome_trace(trace_path, tracer)
     finally:
         bus.close()
         set_tracer(saved_tracer)
         set_event_bus(saved_bus)
     return {"run": run, "tracer": tracer, "ticks": ticks,
-            "events_path": events_path, "trace_path": trace_path}
+            "events_path": events_path, "trace_path": trace_path,
+            "scrapes": scrapes, "health": health}
 
 
 class TestProgress:
@@ -145,6 +166,52 @@ class TestWorkerSpans:
             {"par.worker", "sim.cycle", "pipeline.cycle"}
 
 
+class TestLiveScrapes:
+    """Mid-run endpoint responses captured by the fixture's callback."""
+
+    def test_metrics_scrape_is_valid_prometheus(self, telemetry_run):
+        status, content_type, body = \
+            telemetry_run["scrapes"]["/metrics"]
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE par_shards_total counter" in text
+        # Resource sampling was live mid-run: the heartbeat-fed worker
+        # gauges already carry samples (shard counters only total up at
+        # shard completion, so they may still be bare at scrape time).
+        assert "# TYPE worker_rss_bytes gauge" in text
+        samples = [line for line in text.splitlines()
+                   if line.startswith("worker_rss_bytes{")]
+        assert samples
+        assert all(float(line.rsplit(" ", 1)[1]) > 0
+                   for line in samples)
+
+    def test_healthz_ok_while_running(self, telemetry_run):
+        status, _, body = telemetry_run["scrapes"]["/healthz"]
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["finished"] is False  # scraped mid-run
+        assert telemetry_run["health"].status()["finished"] is True
+
+    def test_progress_json_has_finite_eta(self, telemetry_run):
+        status, _, body = telemetry_run["scrapes"]["/progress"]
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["total_cycles"] == SPEC.cycles
+        assert 0 < payload["work_done"] <= SPEC.cycles
+        assert payload["eta"] is not None
+        assert 0 <= payload["eta"] < float("inf")
+        assert len(payload["shards"]) == 4
+
+    def test_events_tail_serves_the_ring(self, telemetry_run):
+        status, _, body = telemetry_run["scrapes"]["/events?n=10"]
+        payload = json.loads(body)
+        assert status == 200
+        assert 0 < payload["count"] <= 10
+        assert all("seq" in event for event in payload["events"])
+
+
 class TestEventsFile:
     def test_lifecycle_events_in_order(self, telemetry_run):
         events = read_events(telemetry_run["events_path"])
@@ -156,6 +223,14 @@ class TestEventsFile:
         assert kinds.count("shard.done") == 4
         assert kinds.count("cycle.metrics") == SPEC.cycles
         assert "shard.heartbeat" in kinds
+
+    def test_worker_resources_events_per_process(self, telemetry_run):
+        events = read_events(telemetry_run["events_path"])
+        samples = [e for e in events if e.kind == "worker.resources"]
+        shards = {e.fields["shard"] for e in samples}
+        assert {0, 1, 2, 3, "parent"} <= shards
+        assert all(e.fields["rss_bytes"] > 0 for e in samples)
+        assert "shard.stalled" not in {e.kind for e in events}
 
     def test_seq_strictly_increasing_ts_present(self, telemetry_run):
         events = read_events(telemetry_run["events_path"])
@@ -183,9 +258,31 @@ class TestEventsFile:
         assert "== shard timeline ==" in report
         assert report.count("done") >= 4
         assert "== filter drops per cycle ==" in report
+        assert "== resource usage ==" in report
+        assert "peak rss" in report
+        assert "parent" in report
         assert "== per-stage time (from trace) ==" in report
         assert "par.worker" in report
         assert "== slowest cycles" in report
+        assert "== stalls ==" not in report  # nothing stalled
+
+    def test_json_report_mirrors_the_text_sections(self, telemetry_run):
+        data = flight_report_data(
+            telemetry_run["events_path"],
+            trace_path=telemetry_run["trace_path"])
+        decoded = json.loads(json.dumps(data))  # JSON round trip
+        assert decoded["study"]["cycles"] == 4
+        assert decoded["study"]["completed"] is True
+        assert len(decoded["shards"]) == 4
+        assert decoded["caches"]["forwarding"]["hits"] > 0
+        shards = {row["shard"] for row in decoded["resources"]}
+        assert {"0", "1", "2", "3", "parent"} <= shards
+        assert all(row["peak_rss_bytes"] > 0
+                   for row in decoded["resources"])
+        assert decoded["filters"]["cycles"] == [1, 2, 3, 4]
+        assert any(row["span"] == "par.worker"
+                   for row in decoded["stages"])
+        assert "stalls" not in decoded
 
     def test_report_cache_families_are_guarded(self, telemetry_run):
         # An object-engine run has forwarding and ip2as-memo telemetry

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import LprPipeline
 from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
     FakeClock,
     JsonFormatter,
     KeyValueFormatter,
@@ -180,6 +181,17 @@ class TestSnapshots:
         assert delta["level"]["values"][0]["value"] == 9.0
         assert "sizes" not in delta  # zero delta dropped
 
+    def test_diff_drops_unchanged_gauges(self):
+        # A long-lived gauge set *before* the window (a worker's peak
+        # RSS, say) must not leak into every later delta: only gauges
+        # that changed inside the window survive the diff.
+        registry = self.build()
+        before = registry.snapshot()
+        registry.counter("lsps_total").inc(1, filter="incomplete")
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert "level" not in delta
+        assert delta["lsps_total"]["values"][0]["value"] == 1
+
     def test_merge_sums_counters_and_histograms(self):
         one = self.build().snapshot()
         two = self.build().snapshot()
@@ -307,6 +319,12 @@ class TestPrometheusGolden:
                   for line in text.splitlines()
                   if line.startswith("latency_bucket")]
         assert counts == sorted(counts)
+
+    def test_exposition_content_type(self):
+        # The 0.0.4 text exposition content type scrapers negotiate on;
+        # /metrics serves exactly this string.
+        assert PROMETHEUS_CONTENT_TYPE == \
+            "text/plain; version=0.0.4; charset=utf-8"
 
     def test_inf_bucket_equals_count(self):
         text = to_prometheus(self.build())

@@ -189,8 +189,30 @@ class TestProgressTracker:
         assert _format_seconds(90) == "1m30s"
         assert _format_seconds(3_700) == "1h01m"
 
-    def test_printer_overwrites_and_finishes(self):
-        stream = io.StringIO()
+    def test_snapshot_is_json_ready(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(4, clock=clock)
+        tracker.add_shard(0, 2.0)
+        tracker.add_shard(1, 2.0)
+        clock.advance(10.0)
+        tracker.heartbeat(0, cycles_done=2, traces=100)
+        tracker.shard_done(0)
+        snap = tracker.snapshot()
+        assert snap["work_done"] == 2.0
+        assert snap["eta"] == pytest.approx(10.0)
+        assert snap["shards_done"] == 1
+        assert snap["traces"] == 100
+        assert [s["shard"] for s in snap["shards"]] == [0, 1]
+        json.dumps(snap)  # the /progress endpoint serialises this
+
+    def test_snapshot_without_work_has_null_eta(self):
+        snap = ProgressTracker(4).snapshot()
+        assert snap["eta"] is None
+        assert snap["work_done"] == 0.0
+        assert snap["shards"] == []
+
+    def test_tty_printer_overwrites_and_finishes(self):
+        stream = _TtyStringIO()
         printer = ProgressPrinter(stream)
         tracker = ProgressTracker(4)
         tracker.add_shard(0, 4.0)
@@ -199,8 +221,50 @@ class TestProgressTracker:
         printer.update(tracker)
         printer.finish()
         output = stream.getvalue()
-        assert output.count("\r") == 2
+        assert output.count("\r") == 3  # 2 redraws + final summary
         assert output.endswith("\n")
+        assert output.count("\n") == 1  # only finish() ends a line
+
+    def test_non_tty_printer_emits_plain_deduped_lines(self):
+        stream = io.StringIO()  # StringIO.isatty() is False
+        printer = ProgressPrinter(stream)
+        tracker = ProgressTracker(4)
+        tracker.add_shard(0, 4.0)
+        printer.update(tracker)
+        printer.update(tracker)  # unchanged -> no duplicate line
+        tracker.shard_done(0)
+        printer.update(tracker)
+        printer.finish()
+        output = stream.getvalue()
+        assert "\r" not in output
+        lines = output.splitlines()
+        assert len(lines) == 2  # deduped; final line already current
+        assert lines[-1].startswith("cycles 4/4")
+        assert output.endswith("\n")
+
+    def test_non_tty_finish_always_leaves_a_summary(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream)
+        tracker = ProgressTracker(4)
+        tracker.add_shard(0, 4.0)
+        printer.update(tracker)
+        tracker.shard_done(0)  # progress since the last update...
+        printer.finish()       # ...so finish prints the fresh summary
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("cycles 4/4")
+
+    def test_finish_without_updates_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressPrinter(stream).finish()
+        assert stream.getvalue() == ""
+
+
+class _TtyStringIO(io.StringIO):
+    """A StringIO that claims to be a terminal."""
+
+    def isatty(self):
+        return True
 
 
 class TestChromeTrace:
